@@ -1,0 +1,61 @@
+"""Relational core: values, tuples, functional dependencies, relations, specs.
+
+This package contains the mathematical layer of the reproduction — the
+objects Section 2 of the paper defines — plus the abstract relational
+interface and its reference implementation.
+"""
+
+from .columns import ColumnSet, columns, format_columns
+from .errors import (
+    AdequacyError,
+    AutotunerError,
+    DecompositionError,
+    FunctionalDependencyError,
+    OperationError,
+    ParseError,
+    QueryPlanError,
+    ReproError,
+    SpecificationError,
+    SynthesisError,
+    TupleError,
+    WellFormednessError,
+)
+from .fd import FDSet, FunctionalDependency, relation_satisfies
+from .interface import RelationInterface, coerce_tuple
+from .reference import ReferenceRelation
+from .relation import Relation
+from .spec import RelationSpec
+from .tuples import Tuple, t
+from .values import Value, ensure_value, is_valid_value, value_sort_key
+
+__all__ = [
+    "AdequacyError",
+    "AutotunerError",
+    "ColumnSet",
+    "DecompositionError",
+    "FDSet",
+    "FunctionalDependency",
+    "FunctionalDependencyError",
+    "OperationError",
+    "ParseError",
+    "QueryPlanError",
+    "ReferenceRelation",
+    "Relation",
+    "RelationInterface",
+    "RelationSpec",
+    "ReproError",
+    "SpecificationError",
+    "SynthesisError",
+    "Tuple",
+    "TupleError",
+    "Value",
+    "WellFormednessError",
+    "coerce_tuple",
+    "columns",
+    "ensure_value",
+    "format_columns",
+    "is_valid_value",
+    "relation_satisfies",
+    "t",
+    "value_sort_key",
+]

@@ -1,0 +1,47 @@
+"""Column-set helpers.
+
+Column sets appear throughout the formalism (relation schemas, functional
+dependencies, the ``B . C`` typings of decomposition variables, bound /
+output column sets of query plans).  They are represented as ``frozenset``
+of column-name strings; this module centralises validation and formatting.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Union
+
+from .errors import SpecificationError
+
+__all__ = ["ColumnSet", "columns", "format_columns"]
+
+#: Type alias for a set of column names.
+ColumnSet = FrozenSet[str]
+
+
+def columns(names: Union[str, Iterable[str]]) -> ColumnSet:
+    """Normalise *names* into a column set.
+
+    Accepts an iterable of column names or a single comma/space separated
+    string, which makes specifications written in text files and doctests
+    pleasant to read::
+
+        >>> sorted(columns("ns, pid"))
+        ['ns', 'pid']
+        >>> sorted(columns(["state"]))
+        ['state']
+    """
+    if isinstance(names, str):
+        parts = [p for chunk in names.split(",") for p in chunk.split()]
+    else:
+        parts = list(names)
+    validated = []
+    for name in parts:
+        if not isinstance(name, str) or not name:
+            raise SpecificationError(f"column names must be non-empty strings; got {name!r}")
+        validated.append(name)
+    return frozenset(validated)
+
+
+def format_columns(column_set: Iterable[str]) -> str:
+    """Render a column set deterministically, e.g. ``{ns, pid}``."""
+    return "{" + ", ".join(sorted(column_set)) + "}"

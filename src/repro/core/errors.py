@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError`, so client
+code can catch a single exception type at the relational API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SpecificationError(ReproError):
+    """A relational specification is malformed.
+
+    Raised for empty column sets, functional dependencies that mention
+    columns outside the specification, duplicate column names, and similar
+    structural problems.
+    """
+
+
+class TupleError(ReproError):
+    """A tuple is used with the wrong columns for an operation."""
+
+
+class FunctionalDependencyError(ReproError):
+    """An operation would violate the specification's functional dependencies."""
+
+
+class DecompositionError(ReproError):
+    """A decomposition is structurally malformed.
+
+    Examples: unbound variables, duplicate let bindings, cycles in the
+    decomposition graph, unit primitives with inconsistent columns.
+    """
+
+
+class AdequacyError(DecompositionError):
+    """A decomposition fails the adequacy judgement of Figure 6.
+
+    The decomposition cannot faithfully represent every relation over the
+    specification's columns satisfying its functional dependencies.
+    """
+
+
+class WellFormednessError(DecompositionError):
+    """A decomposition instance violates the well-formedness rules of Figure 5."""
+
+
+class QueryPlanError(ReproError):
+    """A query plan is invalid for a decomposition (Figure 8), or no valid
+    plan exists for a requested query."""
+
+
+class OperationError(ReproError):
+    """A relational operation was invoked with unsupported arguments.
+
+    For example, an ``update`` whose pattern is not a key of the relation, or
+    an ``insert`` of a tuple with missing columns.
+    """
+
+
+class SynthesisError(ReproError):
+    """The RELC synthesizer could not produce an implementation.
+
+    Raised when code generation fails, when a required operation
+    instantiation cannot be planned, or when a backend is misconfigured.
+    """
+
+
+class AutotunerError(ReproError):
+    """The autotuner was misconfigured or could not enumerate candidates."""
+
+
+class ParseError(ReproError):
+    """A specification / decomposition mapping file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column

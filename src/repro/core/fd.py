@@ -1,0 +1,229 @@
+"""Functional dependencies and their inference.
+
+A relation ``r`` has a functional dependency ``C1 → C2`` if any pair of
+tuples in ``r`` that agree on the columns ``C1`` also agree on the columns
+``C2``.  Functional dependencies drive the adequacy judgement (Figure 6),
+query-plan validity for joins (Figure 8) and the computation of
+decomposition cuts (Section 4.5), so this module provides:
+
+* :class:`FunctionalDependency` — a single ``lhs → rhs`` dependency,
+* :class:`FDSet` — a set of dependencies with *closure* computation and the
+  entailment relation ``∆ ⊢fd C1 → C2`` (sound and complete via Armstrong's
+  axioms, implemented as attribute-set closure),
+* :func:`relation_satisfies` — the semantic check ``r ⊨fd ∆``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple, Union
+
+from .columns import ColumnSet, columns, format_columns
+from .errors import SpecificationError
+from .tuples import Tuple
+
+__all__ = ["FunctionalDependency", "FDSet", "relation_satisfies"]
+
+
+class FunctionalDependency:
+    """A single functional dependency ``lhs → rhs``.
+
+    Both sides are column sets; the left-hand side may be empty (meaning the
+    right-hand side columns are constant across the whole relation).
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Union[str, Iterable[str]], rhs: Union[str, Iterable[str]]):
+        self.lhs: ColumnSet = columns(lhs)
+        self.rhs: ColumnSet = columns(rhs)
+        if not self.rhs:
+            raise SpecificationError("functional dependency must have a non-empty right-hand side")
+
+    @property
+    def all_columns(self) -> ColumnSet:
+        """Every column mentioned by the dependency."""
+        return self.lhs | self.rhs
+
+    def is_trivial(self) -> bool:
+        """A dependency is trivial when ``rhs ⊆ lhs`` (reflexivity)."""
+        return self.rhs <= self.lhs
+
+    def holds_on(self, tuples: Iterable[Tuple]) -> bool:
+        """Semantic check: does the dependency hold on the given tuples?"""
+        seen: Dict[PyTuple, PyTuple] = {}
+        lhs_cols = sorted(self.lhs)
+        rhs_cols = sorted(self.rhs)
+        for tup in tuples:
+            key = tuple(tup[c] for c in lhs_cols)
+            image = tuple(tup[c] for c in rhs_cols)
+            if key in seen and seen[key] != image:
+                return False
+            seen.setdefault(key, image)
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"{format_columns(self.lhs)} → {format_columns(self.rhs)}"
+
+    @staticmethod
+    def parse(text: str) -> "FunctionalDependency":
+        """Parse ``"a, b -> c, d"`` into a dependency."""
+        if "->" not in text:
+            raise SpecificationError(f"functional dependency {text!r} must contain '->'")
+        lhs_text, rhs_text = text.split("->", 1)
+        return FunctionalDependency(columns(lhs_text), columns(rhs_text))
+
+
+class FDSet:
+    """An immutable set of functional dependencies ``∆`` with inference.
+
+    Entailment ``∆ ⊢fd C1 → C2`` is decided with the standard attribute-set
+    closure algorithm, which is sound and complete for Armstrong's axioms.
+    """
+
+    __slots__ = ("_fds",)
+
+    def __init__(self, fds: Iterable[Union[FunctionalDependency, str]] = ()):
+        normalised: List[FunctionalDependency] = []
+        for fd in fds:
+            if isinstance(fd, str):
+                fd = FunctionalDependency.parse(fd)
+            elif not isinstance(fd, FunctionalDependency):
+                raise SpecificationError(
+                    f"expected FunctionalDependency or string, got {type(fd).__name__}"
+                )
+            normalised.append(fd)
+        self._fds: PyTuple[FunctionalDependency, ...] = tuple(dict.fromkeys(normalised))
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: object) -> bool:
+        return fd in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return set(self._fds) == set(other._fds)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._fds))
+
+    def __repr__(self) -> str:
+        return "FDSet([" + ", ".join(repr(fd) for fd in self._fds) + "])"
+
+    # -- inference -------------------------------------------------------------
+
+    @property
+    def all_columns(self) -> ColumnSet:
+        """Every column mentioned by any dependency."""
+        result: FrozenSet[str] = frozenset()
+        for fd in self._fds:
+            result |= fd.all_columns
+        return result
+
+    def closure(self, start: Union[str, Iterable[str]]) -> ColumnSet:
+        """Compute the attribute closure ``start+`` under this FD set."""
+        closed = set(columns(start))
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def entails(self, lhs: Union[str, Iterable[str]], rhs: Union[str, Iterable[str]]) -> bool:
+        """Decide ``∆ ⊢fd lhs → rhs``."""
+        return columns(rhs) <= self.closure(lhs)
+
+    def entails_fd(self, fd: FunctionalDependency) -> bool:
+        """Decide ``∆ ⊢fd fd``."""
+        return self.entails(fd.lhs, fd.rhs)
+
+    def is_key(self, candidate: Union[str, Iterable[str]], relation_columns: Union[str, Iterable[str]]) -> bool:
+        """Is *candidate* a key for a relation over *relation_columns*?"""
+        return columns(relation_columns) <= self.closure(candidate)
+
+    def minimal_keys(self, relation_columns: Union[str, Iterable[str]]) -> List[ColumnSet]:
+        """Enumerate the minimal keys of a relation over *relation_columns*.
+
+        Exponential in the number of columns in the worst case, which is fine
+        for the handful of columns typical of the paper's relations.
+        """
+        from itertools import combinations
+
+        cols = sorted(columns(relation_columns))
+        keys: List[ColumnSet] = []
+        for size in range(0, len(cols) + 1):
+            for combo in combinations(cols, size):
+                candidate = frozenset(combo)
+                if any(existing <= candidate for existing in keys):
+                    continue
+                if self.is_key(candidate, cols):
+                    keys.append(candidate)
+        return keys
+
+    def restrict(self, to_columns: Union[str, Iterable[str]]) -> "FDSet":
+        """Project the FD set onto a subset of columns.
+
+        Returns a set of dependencies over *to_columns* that are entailed by
+        this set.  Implemented by closing every subset of *to_columns*;
+        exponential but only used for small schemas.
+        """
+        from itertools import combinations
+
+        cols = sorted(columns(to_columns))
+        projected: List[FunctionalDependency] = []
+        for size in range(0, len(cols) + 1):
+            for combo in combinations(cols, size):
+                lhs = frozenset(combo)
+                rhs = (self.closure(lhs) & frozenset(cols)) - lhs
+                if rhs:
+                    projected.append(FunctionalDependency(lhs, rhs))
+        return FDSet(projected)
+
+    def add(self, *fds: Union[FunctionalDependency, str]) -> "FDSet":
+        """Return a new FD set extended with *fds*."""
+        return FDSet(list(self._fds) + list(fds))
+
+    def equivalent_to(self, other: "FDSet") -> bool:
+        """Are the two FD sets logically equivalent?"""
+        return all(self.entails_fd(fd) for fd in other) and all(other.entails_fd(fd) for fd in self)
+
+    def satisfied_by(self, tuples: Iterable[Tuple]) -> bool:
+        """Semantic check ``r ⊨fd ∆`` over an iterable of tuples."""
+        materialised = list(tuples)
+        return all(fd.holds_on(materialised) for fd in self._fds)
+
+    def violations(self, tuples: Iterable[Tuple]) -> List[FunctionalDependency]:
+        """Return the dependencies violated by the given tuples (for diagnostics)."""
+        materialised = list(tuples)
+        return [fd for fd in self._fds if not fd.holds_on(materialised)]
+
+    @staticmethod
+    def parse(texts: Union[str, Sequence[str]]) -> "FDSet":
+        """Parse one or more ``"a, b -> c"`` strings (``;``-separated if a single string)."""
+        if isinstance(texts, str):
+            texts = [part for part in texts.split(";") if part.strip()]
+        return FDSet([FunctionalDependency.parse(text) for text in texts])
+
+
+def relation_satisfies(tuples: Iterable[Tuple], fds: Optional[FDSet]) -> bool:
+    """Semantic satisfaction check ``r ⊨fd ∆`` (``None`` means no constraints)."""
+    if fds is None:
+        return True
+    return fds.satisfied_by(tuples)

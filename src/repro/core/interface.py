@@ -1,0 +1,102 @@
+"""The relational interface every representation implements.
+
+Section 2 of the paper defines five operations on relations::
+
+    empty ()        = ref ∅
+    insert r t      = r ← !r ∪ {t}
+    remove r s      = r ← !r \\ {t ∈ !r | t ⊇ s}
+    update r s u    = r ← {if t ⊇ s then t ◁ u else t | t ∈ !r}
+    query r s C     = π_C {t ∈ !r | t ⊇ s}
+
+:class:`RelationInterface` captures this contract as an abstract base class.
+Three families of implementations exist in the library:
+
+* :class:`repro.core.reference.ReferenceRelation` — the specification-level
+  implementation (a mutable wrapper around :class:`repro.core.Relation`);
+* :class:`repro.synthesis.runtime.SynthesizedRelation` — the interpreted
+  runtime over a decomposition instance; and
+* classes produced by the Python code generator
+  (:mod:`repro.synthesis.codegen_python`).
+
+All three are interchangeable from the client's point of view, which is the
+paper's central abstraction claim.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, List, Mapping, Union
+
+from .relation import Relation
+from .tuples import Tuple
+
+__all__ = ["RelationInterface", "coerce_tuple"]
+
+
+def coerce_tuple(value: Union[Tuple, Mapping, None]) -> Tuple:
+    """Accept ``Tuple``, plain mappings or ``None`` (the empty pattern)."""
+    if value is None:
+        return Tuple.empty()
+    if isinstance(value, Tuple):
+        return value
+    return Tuple(value)
+
+
+class RelationInterface(abc.ABC):
+    """Abstract mutable relation supporting the paper's five operations."""
+
+    # -- operations ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, tup: Union[Tuple, Mapping]) -> None:
+        """Insert a full tuple into the relation."""
+
+    @abc.abstractmethod
+    def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
+        """Remove every tuple that extends *pattern*."""
+
+    @abc.abstractmethod
+    def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
+        """Apply *changes* to every tuple extending *pattern*."""
+
+    @abc.abstractmethod
+    def query(
+        self,
+        pattern: Union[Tuple, Mapping, None] = None,
+        output: Union[str, Iterable[str], None] = None,
+    ) -> List[Tuple]:
+        """Return ``π_output {t ∈ r | t ⊇ pattern}`` as a list of tuples.
+
+        ``output=None`` requests all columns.  The result is duplicate-free
+        (it is a set of tuples) but returned as a list for convenient
+        iteration; ordering is unspecified.
+        """
+
+    # -- conveniences shared by all implementations ------------------------------
+
+    @abc.abstractmethod
+    def to_relation(self) -> Relation:
+        """Materialise the current contents as an immutable :class:`Relation`."""
+
+    def scan(self) -> List[Tuple]:
+        """Return every tuple of the relation (all columns)."""
+        return self.query(None, None)
+
+    def contains(self, pattern: Union[Tuple, Mapping]) -> bool:
+        """Does any tuple extend *pattern*?"""
+        return bool(self.query(pattern, None))
+
+    def count(self, pattern: Union[Tuple, Mapping, None] = None) -> int:
+        """Number of tuples extending *pattern*."""
+        return len(self.query(pattern, None))
+
+    def __len__(self) -> int:
+        return self.count(None)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.scan())
+
+    def __contains__(self, pattern: object) -> bool:
+        if isinstance(pattern, (Tuple, Mapping)):
+            return self.contains(pattern)  # type: ignore[arg-type]
+        return False

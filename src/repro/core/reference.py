@@ -1,0 +1,114 @@
+"""The reference (specification-level) implementation of the relational interface.
+
+:class:`ReferenceRelation` stores the relation literally as a set of tuples
+and implements each operation by its defining equation from Section 2.  It
+is the oracle against which every synthesized representation is tested
+(Theorem 5: a sequence of operations on a decomposition instance produces
+exactly the relation the reference implementation holds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Set, Union
+
+from .errors import FunctionalDependencyError, OperationError
+from .interface import RelationInterface, coerce_tuple
+from .relation import Relation
+from .spec import RelationSpec
+from .tuples import Tuple
+
+__all__ = ["ReferenceRelation"]
+
+
+class ReferenceRelation(RelationInterface):
+    """Mutable relation implemented directly on a Python set of tuples.
+
+    Parameters:
+        spec: the relational specification the instance must respect.
+        enforce_fds: when ``True`` (the default) ``insert`` and ``update``
+            raise :class:`FunctionalDependencyError` if the operation would
+            violate the specification's functional dependencies — mirroring
+            the premises of Lemma 4 in the paper, which only promises
+            soundness for FD-respecting operation sequences.
+    """
+
+    def __init__(self, spec: RelationSpec, enforce_fds: bool = True):
+        self.spec = spec
+        self.enforce_fds = enforce_fds
+        self._tuples: Set[Tuple] = set()
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, tup: Union[Tuple, Mapping]) -> None:
+        tup = coerce_tuple(tup)
+        self.spec.check_full_tuple(tup)
+        if tup in self._tuples:
+            return
+        if self.enforce_fds:
+            violated = self.spec.would_violate_fds(self.to_relation(), tup)
+            if violated is not None:
+                raise FunctionalDependencyError(
+                    f"inserting {tup!r} would violate {violated!r}"
+                )
+        self._tuples.add(tup)
+
+    def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
+        pattern = coerce_tuple(pattern)
+        self.spec.check_partial_tuple(pattern, role="removal pattern")
+        self._tuples = {t for t in self._tuples if not t.extends(pattern)}
+
+    def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
+        pattern = coerce_tuple(pattern)
+        changes = coerce_tuple(changes)
+        self.spec.check_partial_tuple(pattern, role="update pattern")
+        self.spec.check_partial_tuple(changes, role="update changes")
+        if not changes.columns:
+            return
+        updated = {t.merge(changes) if t.extends(pattern) else t for t in self._tuples}
+        if self.enforce_fds and not self.spec.fds.satisfied_by(updated):
+            raise FunctionalDependencyError(
+                f"update with pattern {pattern!r} and changes {changes!r} would violate "
+                f"the specification's functional dependencies"
+            )
+        self._tuples = updated
+
+    def query(
+        self,
+        pattern: Union[Tuple, Mapping, None] = None,
+        output: Union[str, Iterable[str], None] = None,
+    ) -> List[Tuple]:
+        pattern = coerce_tuple(pattern)
+        self.spec.check_partial_tuple(pattern, role="query pattern")
+        if output is None:
+            wanted = self.spec.columns
+        else:
+            wanted = self.spec.check_output_columns(output)
+        results = {t.project(wanted) for t in self._tuples if t.extends(pattern)}
+        return list(results)
+
+    # -- inspection -------------------------------------------------------------
+
+    def to_relation(self) -> Relation:
+        return Relation(self.spec.columns, self._tuples)
+
+    def checkpoint(self) -> Relation:
+        """Alias of :meth:`to_relation`, used by differential tests."""
+        return self.to_relation()
+
+    def load(self, relation: Relation) -> None:
+        """Replace the contents with *relation* (which must satisfy the spec)."""
+        self.spec.check_relation(relation)
+        self._tuples = set(relation.tuples)
+
+    def unique_match(self, pattern: Union[Tuple, Mapping]) -> Optional[Tuple]:
+        """Return the single tuple extending *pattern*.
+
+        Raises:
+            OperationError: if more than one tuple matches.
+        """
+        matches = self.query(pattern, None)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise OperationError(f"pattern {pattern!r} matches {len(matches)} tuples, expected one")
+        return matches[0]

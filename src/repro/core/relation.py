@@ -1,0 +1,215 @@
+"""Relations and relational algebra.
+
+A relation is a set of tuples over identical columns (Section 2).  The
+:class:`Relation` class is the *mathematical* object used by the formal
+development: the reference implementation of the relational interface, the
+abstraction function α over decomposition instances, and all soundness tests
+compare against it.  It is deliberately simple and obviously correct; the
+performance-oriented representations live in :mod:`repro.synthesis`.
+
+Supported algebra: union, intersection, difference, symmetric difference,
+projection ``π_C``, selection by a partial tuple, natural join ``⋈``, and
+renaming.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Union
+
+from .columns import ColumnSet, columns, format_columns
+from .errors import SpecificationError, TupleError
+from .fd import FDSet
+from .tuples import Tuple
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable set of tuples over a fixed set of columns."""
+
+    __slots__ = ("_columns", "_tuples")
+
+    def __init__(self, column_names: Union[str, Iterable[str]], tuples: Iterable[Tuple] = ()):
+        self._columns: ColumnSet = columns(column_names)
+        materialised = frozenset(tuples)
+        for tup in materialised:
+            if tup.columns != self._columns:
+                raise TupleError(
+                    f"tuple {tup!r} does not have columns {format_columns(self._columns)}"
+                )
+        self._tuples: FrozenSet[Tuple] = materialised
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def columns(self) -> ColumnSet:
+        return self._columns
+
+    @property
+    def tuples(self) -> FrozenSet[Tuple]:
+        return self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, tup: object) -> bool:
+        return tup in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._columns == other._columns and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash((self._columns, self._tuples))
+
+    def __repr__(self) -> str:
+        rows = ", ".join(repr(t) for t in self.sorted_tuples())
+        return f"Relation({format_columns(self._columns)}, [{rows}])"
+
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    def sorted_tuples(self) -> List[Tuple]:
+        """Tuples in a deterministic order (useful for tests and display)."""
+        return sorted(self._tuples, key=lambda t: t.sort_key())
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def empty(column_names: Union[str, Iterable[str]]) -> "Relation":
+        return Relation(column_names, ())
+
+    @staticmethod
+    def from_dicts(column_names: Union[str, Iterable[str]], rows: Iterable[dict]) -> "Relation":
+        """Build a relation from plain dictionaries."""
+        return Relation(column_names, (Tuple(row) for row in rows))
+
+    def replace(self, tuples: Iterable[Tuple]) -> "Relation":
+        """Return a relation with the same columns but different tuples."""
+        return Relation(self._columns, tuples)
+
+    # -- set operations --------------------------------------------------------
+
+    def _require_same_columns(self, other: "Relation", op: str) -> None:
+        if self._columns != other._columns:
+            raise SpecificationError(
+                f"{op} requires identical columns: "
+                f"{format_columns(self._columns)} vs {format_columns(other._columns)}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_same_columns(other, "union")
+        return Relation(self._columns, self._tuples | other._tuples)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_same_columns(other, "intersection")
+        return Relation(self._columns, self._tuples & other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_same_columns(other, "difference")
+        return Relation(self._columns, self._tuples - other._tuples)
+
+    def symmetric_difference(self, other: "Relation") -> "Relation":
+        self._require_same_columns(other, "symmetric difference")
+        return Relation(self._columns, self._tuples ^ other._tuples)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    # -- relational algebra ------------------------------------------------------
+
+    def project(self, onto: Union[str, Iterable[str]]) -> "Relation":
+        """``π_C r`` — project onto a subset of the relation's columns."""
+        wanted = columns(onto)
+        if not wanted <= self._columns:
+            raise SpecificationError(
+                f"cannot project onto {format_columns(wanted)}; relation has "
+                f"{format_columns(self._columns)}"
+            )
+        return Relation(wanted, (t.project(wanted) for t in self._tuples))
+
+    def select(self, pattern: Tuple) -> "Relation":
+        """``{t ∈ r | t ⊇ pattern}`` — select tuples extending a partial tuple."""
+        if not pattern.columns <= self._columns:
+            raise SpecificationError(
+                f"selection pattern {pattern!r} mentions columns outside "
+                f"{format_columns(self._columns)}"
+            )
+        return Relation(self._columns, (t for t in self._tuples if t.extends(pattern)))
+
+    def query(self, pattern: Tuple, output: Union[str, Iterable[str]]) -> "Relation":
+        """The paper's ``query r s C`` = ``π_C {t ∈ r | t ⊇ s}``."""
+        return self.select(pattern).project(output)
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join ``r1 ⋈ r2`` on the common columns."""
+        out_columns = self._columns | other._columns
+        common = self._columns & other._columns
+        if not common:
+            # Cartesian product.
+            joined = [
+                left.merge(right) for left in self._tuples for right in other._tuples
+            ]
+            return Relation(out_columns, joined)
+        # Hash join on the common columns.
+        index: dict = {}
+        for right in other._tuples:
+            index.setdefault(right.project(common), []).append(right)
+        joined = []
+        for left in self._tuples:
+            for right in index.get(left.project(common), ()):
+                joined.append(left.merge(right))
+        return Relation(out_columns, joined)
+
+    __matmul__ = join
+
+    def rename(self, mapping: dict) -> "Relation":
+        """Rename columns according to ``{old: new}``."""
+        missing = set(mapping) - set(self._columns)
+        if missing:
+            raise SpecificationError(f"cannot rename missing columns {sorted(missing)}")
+        new_columns = [mapping.get(c, c) for c in self._columns]
+        if len(set(new_columns)) != len(new_columns):
+            raise SpecificationError("renaming would produce duplicate column names")
+        renamed = []
+        for tup in self._tuples:
+            renamed.append(Tuple({mapping.get(c, c): v for c, v in tup.items()}))
+        return Relation(new_columns, renamed)
+
+    # -- mutation-flavoured helpers (pure; used by the reference implementation) --
+
+    def insert(self, tup: Tuple) -> "Relation":
+        """``r ∪ {t}`` for a full tuple *t*."""
+        if tup.columns != self._columns:
+            raise TupleError(
+                f"inserted tuple {tup!r} must have columns {format_columns(self._columns)}"
+            )
+        return Relation(self._columns, self._tuples | {tup})
+
+    def remove(self, pattern: Tuple) -> "Relation":
+        """``r \\ {t ∈ r | t ⊇ s}`` for a partial tuple *s*."""
+        return Relation(self._columns, (t for t in self._tuples if not t.extends(pattern)))
+
+    def update(self, pattern: Tuple, changes: Tuple) -> "Relation":
+        """``{if t ⊇ s then t ◁ u else t | t ∈ r}``."""
+        extra = changes.columns - self._columns
+        if extra:
+            raise TupleError(f"update mentions columns {sorted(extra)} outside the relation")
+        return Relation(
+            self._columns,
+            (t.merge(changes) if t.extends(pattern) else t for t in self._tuples),
+        )
+
+    # -- constraints -------------------------------------------------------------
+
+    def satisfies(self, fds: Optional[FDSet]) -> bool:
+        """Semantic check ``r ⊨fd ∆``."""
+        if fds is None:
+            return True
+        return fds.satisfied_by(self._tuples)

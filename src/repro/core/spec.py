@@ -1,0 +1,161 @@
+"""Relational specifications: column sets plus functional dependencies.
+
+A relational specification (Section 2) is the client-facing contract of a
+synthesized data representation: a set of columns ``C`` and a set of
+functional dependencies ``∆``.  The process-scheduler example of the paper
+is::
+
+    spec = RelationSpec(
+        name="process",
+        column_names="ns, pid, state, cpu",
+        fds=["ns, pid -> state, cpu"],
+    )
+
+The specification knows nothing about representation; decompositions
+(:mod:`repro.decomposition`) describe how relations over a specification are
+laid out in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from .columns import ColumnSet, columns, format_columns
+from .errors import FunctionalDependencyError, SpecificationError, TupleError
+from .fd import FDSet, FunctionalDependency
+from .relation import Relation
+from .tuples import Tuple
+
+__all__ = ["RelationSpec"]
+
+
+class RelationSpec:
+    """A relational specification ``(C, ∆)`` with an optional name."""
+
+    __slots__ = ("name", "_columns", "_fds")
+
+    def __init__(
+        self,
+        column_names: Union[str, Iterable[str]],
+        fds: Union[FDSet, Iterable[Union[FunctionalDependency, str]], None] = None,
+        name: str = "relation",
+    ):
+        self.name = name
+        self._columns: ColumnSet = columns(column_names)
+        if not self._columns:
+            raise SpecificationError("a relational specification needs at least one column")
+        if fds is None:
+            fds = FDSet()
+        if not isinstance(fds, FDSet):
+            fds = FDSet(fds)
+        self._fds = fds
+        stray = self._fds.all_columns - self._columns
+        if stray:
+            raise SpecificationError(
+                f"functional dependencies mention columns {sorted(stray)} "
+                f"outside the specification columns {format_columns(self._columns)}"
+            )
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def columns(self) -> ColumnSet:
+        """The specification's column set ``C``."""
+        return self._columns
+
+    @property
+    def fds(self) -> FDSet:
+        """The specification's functional dependencies ``∆``."""
+        return self._fds
+
+    def sorted_columns(self) -> List[str]:
+        return sorted(self._columns)
+
+    def __repr__(self) -> str:
+        fd_text = "; ".join(repr(fd) for fd in self._fds)
+        return (
+            f"RelationSpec(name={self.name!r}, columns={format_columns(self._columns)}, "
+            f"fds=[{fd_text}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSpec):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._columns == other._columns
+            and self._fds == other._fds
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._columns, self._fds))
+
+    # -- validation helpers -------------------------------------------------------
+
+    def empty_relation(self) -> Relation:
+        """The empty relation over this specification's columns."""
+        return Relation.empty(self._columns)
+
+    def is_key(self, candidate: Union[str, Iterable[str]]) -> bool:
+        """Is *candidate* a key of the relation (``∆ ⊢fd candidate → C``)?"""
+        return self._fds.is_key(candidate, self._columns)
+
+    def minimal_keys(self) -> List[ColumnSet]:
+        """Enumerate the minimal keys of the specification."""
+        return self._fds.minimal_keys(self._columns)
+
+    def check_full_tuple(self, tup: Tuple) -> None:
+        """Ensure *tup* is a valuation of all specification columns."""
+        if tup.columns != self._columns:
+            missing = self._columns - tup.columns
+            extra = tup.columns - self._columns
+            detail = []
+            if missing:
+                detail.append(f"missing columns {sorted(missing)}")
+            if extra:
+                detail.append(f"unknown columns {sorted(extra)}")
+            raise TupleError(
+                f"tuple {tup!r} is not a valuation of {format_columns(self._columns)}: "
+                + "; ".join(detail)
+            )
+
+    def check_partial_tuple(self, tup: Tuple, role: str = "pattern") -> None:
+        """Ensure *tup* only mentions specification columns."""
+        extra = tup.columns - self._columns
+        if extra:
+            raise TupleError(
+                f"{role} {tup!r} mentions columns {sorted(extra)} outside "
+                f"{format_columns(self._columns)}"
+            )
+
+    def check_output_columns(self, output: Union[str, Iterable[str]]) -> ColumnSet:
+        """Validate and normalise the output column set of a query."""
+        wanted = columns(output)
+        extra = wanted - self._columns
+        if extra:
+            raise SpecificationError(
+                f"query output mentions columns {sorted(extra)} outside "
+                f"{format_columns(self._columns)}"
+            )
+        return wanted
+
+    def check_relation(self, relation: Relation) -> None:
+        """Ensure a relation has the right columns and satisfies the FDs."""
+        if relation.columns != self._columns:
+            raise SpecificationError(
+                f"relation columns {format_columns(relation.columns)} do not match "
+                f"specification columns {format_columns(self._columns)}"
+            )
+        violated = self._fds.violations(relation.tuples)
+        if violated:
+            raise FunctionalDependencyError(
+                f"relation violates functional dependencies: {violated}"
+            )
+
+    def would_violate_fds(self, relation: Relation, new_tuple: Tuple) -> Optional[FunctionalDependency]:
+        """Return the FD violated by adding *new_tuple* to *relation*, if any."""
+        candidate = list(relation.tuples) + [new_tuple]
+        for fd in self._fds:
+            if not fd.holds_on(candidate):
+                return fd
+        return None

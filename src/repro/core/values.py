@@ -1,0 +1,89 @@
+"""The value universe used by relations.
+
+The paper assumes an untyped universe of values ``V`` that includes the
+integers.  In this reproduction a value may be any hashable Python object;
+helpers in this module implement the comparisons and orderings the rest of
+the library relies on.
+
+Two requirements drive the design:
+
+* values must be *hashable*, because map decompositions use them as keys in
+  hash tables and other associative containers; and
+* values must be *totally orderable within a column*, because tree-based
+  containers need an ordering.  Values of mixed Python types in the same
+  column are ordered by ``(type name, value)`` so that ordered containers
+  never raise ``TypeError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Tuple
+
+__all__ = [
+    "Value",
+    "is_valid_value",
+    "ensure_value",
+    "value_sort_key",
+    "values_sort_key",
+]
+
+#: Type alias for values stored in relations.
+Value = Hashable
+
+
+def is_valid_value(value: Any) -> bool:
+    """Return ``True`` if *value* may be stored in a relation.
+
+    A value is valid when it is hashable.  ``None`` is permitted and simply
+    behaves as an ordinary value (it is not interpreted as "missing").
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def ensure_value(value: Any) -> Value:
+    """Validate *value* and return it.
+
+    Raises:
+        TypeError: if the value is not hashable and therefore cannot be used
+            as a relation value.
+    """
+    if not is_valid_value(value):
+        raise TypeError(
+            f"relation values must be hashable; got {value!r} of type {type(value).__name__}"
+        )
+    return value
+
+
+def value_sort_key(value: Value) -> Tuple[str, Any]:
+    """Return a sort key that totally orders arbitrary relation values.
+
+    Values of the same type compare by their natural ordering; values of
+    different types compare by type name.  Booleans are folded into the
+    integer ordering (mirroring Python semantics), and unorderable values
+    fall back to their ``repr``.
+    """
+    if isinstance(value, bool):
+        return ("int", int(value))
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", value)
+    if isinstance(value, str):
+        return ("str", value)
+    type_name = type(value).__name__
+    try:
+        # Probe that the value is orderable against itself; if not, fall back
+        # to repr so that ordered containers still work.
+        value < value  # type: ignore[operator]  # noqa: B015
+    except TypeError:
+        return (type_name, repr(value))
+    return (type_name, value)
+
+
+def values_sort_key(values: Iterable[Value]) -> Tuple[Tuple[str, Any], ...]:
+    """Return a sort key for a sequence of values (e.g. a projected tuple)."""
+    return tuple(value_sort_key(v) for v in values)

@@ -1,0 +1,48 @@
+"""Primitive container library used by map decompositions.
+
+All containers implement the :class:`AssociativeContainer` key→value map
+interface and expose a cost model ``m_ψ(n)`` used by the query planner.
+The library mirrors the paper's C++ container set:
+
+=============  =================================  ==========================
+Name           Paper counterpart                  Characteristics
+=============  =================================  ==========================
+``dlist``      ``std::list``                      unordered list, O(n) lookup
+``ilist``      ``boost::intrusive::list``         intrusive list, O(1) unlink
+``htable``     ``boost::unordered_map``           hash table, O(1) lookup
+``btree``      ``std::map`` / intrusive ``set``   AVL tree, O(log n), ordered
+``vector``     ``std::vector``                    array of pairs, O(n) lookup
+``ivector``    dense ``std::vector`` index        O(1) lookup for small ints
+=============  =================================  ==========================
+"""
+
+from .avltree import AVLTreeMap
+from .base import COUNTER, MISSING, AssociativeContainer, OperationCounter
+from .dlist import DListMap, IntrusiveListMap
+from .htable import HashTableMap
+from .registry import (
+    STRUCTURE_REGISTRY,
+    default_structure_names,
+    get_structure,
+    register_structure,
+    structure_names,
+)
+from .vector import IndexedVectorMap, VectorMap
+
+__all__ = [
+    "AVLTreeMap",
+    "AssociativeContainer",
+    "COUNTER",
+    "DListMap",
+    "HashTableMap",
+    "IndexedVectorMap",
+    "IntrusiveListMap",
+    "MISSING",
+    "OperationCounter",
+    "STRUCTURE_REGISTRY",
+    "VectorMap",
+    "default_structure_names",
+    "get_structure",
+    "register_structure",
+    "structure_names",
+]

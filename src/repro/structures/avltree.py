@@ -1,0 +1,204 @@
+"""Ordered map implemented as an AVL tree (``btree``).
+
+Mirrors ``std::map`` / ``boost::intrusive::set`` in the paper's container
+library: a balanced binary search tree with O(log n) lookup, insertion and
+removal, and in-order (key-sorted) iteration.  Keys are ordered by
+``Tuple.sort_key``, which totally orders tuples with identical columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple as PyTuple
+
+from ..core.tuples import Tuple
+from .base import COUNTER, MISSING, AssociativeContainer, log2_cost
+
+__all__ = ["AVLTreeMap"]
+
+
+class _AVLNode:
+    """An AVL tree node holding one key/value entry."""
+
+    __slots__ = ("key", "sort_key", "value", "left", "right", "height")
+
+    def __init__(self, key: Tuple, value: Any):
+        self.key = key
+        self.sort_key = key.sort_key()
+        self.value = value
+        self.left: Optional["_AVLNode"] = None
+        self.right: Optional["_AVLNode"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AVLNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update_height(node: _AVLNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _AVLNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _AVLNode) -> _AVLNode:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _update_height(node)
+    _update_height(pivot)
+    return pivot
+
+
+def _rotate_left(node: _AVLNode) -> _AVLNode:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _update_height(node)
+    _update_height(pivot)
+    return pivot
+
+
+def _rebalance(node: _AVLNode) -> _AVLNode:
+    _update_height(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTreeMap(AssociativeContainer):
+    """Balanced ordered map keyed by tuple sort order."""
+
+    NAME = "btree"
+    ORDERED = True
+    INTRUSIVE = False
+
+    def __init__(self) -> None:
+        self._root: Optional[_AVLNode] = None
+        self._size = 0
+
+    @classmethod
+    def estimate_accesses(cls, n: float) -> float:
+        return log2_cost(n)
+
+    # -- interface ---------------------------------------------------------------
+
+    def insert(self, key: Tuple, value: Any) -> None:
+        COUNTER.count_insert()
+        self._root = self._insert(self._root, key, key.sort_key(), value)
+
+    def _insert(self, node: Optional[_AVLNode], key: Tuple, sort_key: PyTuple, value: Any) -> _AVLNode:
+        if node is None:
+            COUNTER.count_allocation()
+            self._size += 1
+            return _AVLNode(key, value)
+        COUNTER.count_access()
+        if sort_key == node.sort_key and key == node.key:
+            node.value = value
+            return node
+        if sort_key < node.sort_key or (sort_key == node.sort_key and repr(key) < repr(node.key)):
+            node.left = self._insert(node.left, key, sort_key, value)
+        else:
+            node.right = self._insert(node.right, key, sort_key, value)
+        return _rebalance(node)
+
+    def lookup(self, key: Tuple) -> Any:
+        COUNTER.count_lookup()
+        sort_key = key.sort_key()
+        node = self._root
+        while node is not None:
+            COUNTER.count_access()
+            if sort_key == node.sort_key and key == node.key:
+                return node.value
+            if sort_key < node.sort_key or (sort_key == node.sort_key and repr(key) < repr(node.key)):
+                node = node.left
+            else:
+                node = node.right
+        return MISSING
+
+    def remove(self, key: Tuple) -> bool:
+        COUNTER.count_removal()
+        before = self._size
+        self._root = self._remove(self._root, key, key.sort_key())
+        return self._size < before
+
+    def _remove(self, node: Optional[_AVLNode], key: Tuple, sort_key: PyTuple) -> Optional[_AVLNode]:
+        if node is None:
+            return None
+        COUNTER.count_access()
+        if sort_key == node.sort_key and key == node.key:
+            self._size -= 1
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with the in-order successor.
+            successor = node.right
+            while successor.left is not None:
+                COUNTER.count_access()
+                successor = successor.left
+            node.key, node.sort_key, node.value = successor.key, successor.sort_key, successor.value
+            node.right = self._remove_min(node.right)
+            return _rebalance(node)
+        if sort_key < node.sort_key or (sort_key == node.sort_key and repr(key) < repr(node.key)):
+            node.left = self._remove(node.left, key, sort_key)
+        else:
+            node.right = self._remove(node.right, key, sort_key)
+        return _rebalance(node)
+
+    def _remove_min(self, node: _AVLNode) -> Optional[_AVLNode]:
+        if node.left is None:
+            return node.right
+        node.left = self._remove_min(node.left)
+        return _rebalance(node)
+
+    def items(self) -> Iterator[PyTuple[Tuple, Any]]:
+        COUNTER.count_scan()
+        yield from self._in_order(self._root)
+
+    def _in_order(self, node: Optional[_AVLNode]) -> Iterator[PyTuple[Tuple, Any]]:
+        if node is None:
+            return
+        yield from self._in_order(node.left)
+        COUNTER.count_access()
+        yield node.key, node.value
+        yield from self._in_order(node.right)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def check_invariants(self) -> bool:
+        """Verify the AVL balance and ordering invariants (used by tests)."""
+
+        def check(node: Optional[_AVLNode]) -> PyTuple[bool, int]:
+            if node is None:
+                return True, 0
+            ok_left, height_left = check(node.left)
+            ok_right, height_right = check(node.right)
+            balanced = abs(height_left - height_right) <= 1
+            ordered = True
+            if node.left is not None and node.left.sort_key > node.sort_key:
+                ordered = False
+            if node.right is not None and node.right.sort_key < node.sort_key:
+                ordered = False
+            return (
+                ok_left and ok_right and balanced and ordered,
+                1 + max(height_left, height_right),
+            )
+
+        ok, _ = check(self._root)
+        return ok

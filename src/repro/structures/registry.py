@@ -1,0 +1,71 @@
+"""Registry of container implementations.
+
+The set of data structures usable in a decomposition is extensible
+(Section 3.1): "any data structure implementing a common interface may be
+used".  New containers are added by subclassing
+:class:`repro.structures.AssociativeContainer` and calling
+:func:`register_structure`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..core.errors import DecompositionError
+from .avltree import AVLTreeMap
+from .base import AssociativeContainer
+from .dlist import DListMap, IntrusiveListMap
+from .htable import HashTableMap
+from .vector import IndexedVectorMap, VectorMap
+
+__all__ = [
+    "register_structure",
+    "get_structure",
+    "structure_names",
+    "default_structure_names",
+    "STRUCTURE_REGISTRY",
+]
+
+STRUCTURE_REGISTRY: Dict[str, Type[AssociativeContainer]] = {}
+
+
+def register_structure(cls: Type[AssociativeContainer]) -> Type[AssociativeContainer]:
+    """Register a container class under its ``NAME``; usable as a decorator."""
+    name = cls.NAME
+    if not name or name == "abstract":
+        raise DecompositionError(f"container class {cls.__name__} must define a NAME")
+    existing = STRUCTURE_REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise DecompositionError(
+            f"container name {name!r} already registered by {existing.__name__}"
+        )
+    STRUCTURE_REGISTRY[name] = cls
+    return cls
+
+
+def get_structure(name: str) -> Type[AssociativeContainer]:
+    """Look up a container class by name (``htable``, ``dlist``, ...)."""
+    try:
+        return STRUCTURE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(STRUCTURE_REGISTRY))
+        raise DecompositionError(f"unknown data structure {name!r}; known structures: {known}") from None
+
+
+def structure_names() -> List[str]:
+    """All registered structure names, sorted."""
+    return sorted(STRUCTURE_REGISTRY)
+
+
+def default_structure_names() -> List[str]:
+    """The structures the autotuner considers by default.
+
+    ``ivector`` is excluded because it only differs from ``htable`` in
+    constant factors for integer keys, which keeps the autotuner's search
+    space aligned with the paper's (list / tree / hash / vector).
+    """
+    return ["dlist", "ilist", "btree", "htable", "vector"]
+
+
+for _cls in (DListMap, IntrusiveListMap, HashTableMap, AVLTreeMap, VectorMap, IndexedVectorMap):
+    register_structure(_cls)

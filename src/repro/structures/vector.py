@@ -1,0 +1,189 @@
+"""Vector containers.
+
+Two array-backed containers mirror ``std::vector`` in the paper's library:
+
+* :class:`VectorMap` — a dynamic array of key/value pairs with linear lookup
+  and constant-time append.  Suitable for maps with a small number of keys
+  (the paper's example maps the two process states to sub-relations).
+* :class:`IndexedVectorMap` — a dense array indexed directly by a
+  single-column small non-negative integer key, with constant-time lookup.
+  This is what a C programmer would write for e.g. per-CPU or per-state
+  tables; it falls back to :class:`VectorMap` behaviour if a key is not a
+  small integer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple as PyTuple
+
+from ..core.tuples import Tuple
+from .base import COUNTER, MISSING, AssociativeContainer
+
+__all__ = ["VectorMap", "IndexedVectorMap"]
+
+
+class VectorMap(AssociativeContainer):
+    """Dynamic array of key/value pairs (``vector``)."""
+
+    NAME = "vector"
+    ORDERED = False
+    INTRUSIVE = False
+
+    def __init__(self) -> None:
+        self._entries: List[Optional[PyTuple[Tuple, Any]]] = []
+        self._size = 0
+
+    @classmethod
+    def estimate_accesses(cls, n: float) -> float:
+        # Linear probe, but with a smaller constant than a linked list
+        # because the entries are contiguous.
+        return max(1.0, float(n) / 4.0)
+
+    def _find_index(self, key: Tuple) -> int:
+        for index, entry in enumerate(self._entries):
+            if entry is None:
+                continue
+            COUNTER.count_access()
+            if entry[0] == key:
+                return index
+        return -1
+
+    def insert(self, key: Tuple, value: Any) -> None:
+        COUNTER.count_insert()
+        index = self._find_index(key)
+        if index >= 0:
+            self._entries[index] = (key, value)
+            return
+        COUNTER.count_allocation()
+        self._entries.append((key, value))
+        self._size += 1
+
+    def lookup(self, key: Tuple) -> Any:
+        COUNTER.count_lookup()
+        index = self._find_index(key)
+        return MISSING if index < 0 else self._entries[index][1]  # type: ignore[index]
+
+    def remove(self, key: Tuple) -> bool:
+        COUNTER.count_removal()
+        index = self._find_index(key)
+        if index < 0:
+            return False
+        # Swap-remove to keep the array dense.
+        last = len(self._entries) - 1
+        self._entries[index] = self._entries[last]
+        self._entries.pop()
+        self._size -= 1
+        return True
+
+    def items(self) -> Iterator[PyTuple[Tuple, Any]]:
+        COUNTER.count_scan()
+        for entry in self._entries:
+            if entry is not None:
+                COUNTER.count_access()
+                yield entry
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class IndexedVectorMap(AssociativeContainer):
+    """Dense array indexed by a small non-negative integer key (``ivector``).
+
+    The key must be a single-column tuple whose value is a non-negative
+    integer below :attr:`MAX_DENSE_KEY`; other keys are stored in a sparse
+    overflow map so that behaviour is always correct even when the key
+    domain is unsuitable for dense indexing.
+    """
+
+    NAME = "ivector"
+    ORDERED = False
+    INTRUSIVE = False
+
+    #: Largest key stored densely; beyond this the overflow map is used.
+    MAX_DENSE_KEY = 1 << 20
+
+    def __init__(self) -> None:
+        self._dense: List[Any] = []
+        self._dense_keys: List[Optional[Tuple]] = []
+        self._overflow: dict = {}
+        self._size = 0
+
+    @classmethod
+    def estimate_accesses(cls, n: float) -> float:
+        return 1.0
+
+    @classmethod
+    def _dense_index(cls, key: Tuple) -> Optional[int]:
+        if len(key) != 1:
+            return None
+        value = next(iter(key.values()))
+        if isinstance(value, bool) or not isinstance(value, int):
+            return None
+        if 0 <= value < cls.MAX_DENSE_KEY:
+            return value
+        return None
+
+    def _grow(self, index: int) -> None:
+        while len(self._dense) <= index:
+            self._dense.append(MISSING)
+            self._dense_keys.append(None)
+
+    def insert(self, key: Tuple, value: Any) -> None:
+        COUNTER.count_insert()
+        index = self._dense_index(key)
+        if index is None:
+            if key not in self._overflow:
+                self._size += 1
+                COUNTER.count_allocation()
+            self._overflow[key] = value
+            return
+        self._grow(index)
+        COUNTER.count_access()
+        if self._dense[index] is MISSING:
+            self._size += 1
+            COUNTER.count_allocation()
+        self._dense[index] = value
+        self._dense_keys[index] = key
+
+    def lookup(self, key: Tuple) -> Any:
+        COUNTER.count_lookup()
+        index = self._dense_index(key)
+        if index is None:
+            COUNTER.count_access()
+            return self._overflow.get(key, MISSING)
+        if index >= len(self._dense):
+            return MISSING
+        COUNTER.count_access()
+        return self._dense[index]
+
+    def remove(self, key: Tuple) -> bool:
+        COUNTER.count_removal()
+        index = self._dense_index(key)
+        if index is None:
+            if key in self._overflow:
+                del self._overflow[key]
+                self._size -= 1
+                return True
+            return False
+        if index >= len(self._dense) or self._dense[index] is MISSING:
+            return False
+        COUNTER.count_access()
+        self._dense[index] = MISSING
+        self._dense_keys[index] = None
+        self._size -= 1
+        return True
+
+    def items(self) -> Iterator[PyTuple[Tuple, Any]]:
+        COUNTER.count_scan()
+        for index, value in enumerate(self._dense):
+            if value is not MISSING:
+                COUNTER.count_access()
+                key = self._dense_keys[index]
+                assert key is not None
+                yield key, value
+        for key, value in self._overflow.items():
+            COUNTER.count_access()
+            yield key, value
+
+    def __len__(self) -> int:
+        return self._size
