@@ -1,0 +1,58 @@
+"""Data representation synthesis (Hawkins et al., PLDI 2011) in Python.
+
+The library is layered like the paper:
+
+* :mod:`repro.core` — relational specifications ``(C, ∆)``, functional
+  dependencies, relational algebra, the five-operation relational
+  interface, and its reference implementation (Section 2);
+* :mod:`repro.decomposition` — decompositions, the adequacy judgement, the
+  abstraction function α, query plans, and the decomposed implementation
+  of the relational interface (Sections 3–4);
+* :mod:`repro.structures` — the primitive container library backing map
+  edges (Section 6).
+
+The most common entry points are re-exported here::
+
+    from repro import RelationSpec, DecomposedRelation, t
+
+    spec = RelationSpec("ns, pid, state, cpu", fds=["ns, pid -> state, cpu"])
+    processes = DecomposedRelation(spec, "ns, pid -> htable {state, cpu}")
+    processes.insert(t(ns=1, pid=42, state="running", cpu=0))
+"""
+
+from .core import (
+    FDSet,
+    FunctionalDependency,
+    ReferenceRelation,
+    Relation,
+    RelationInterface,
+    RelationSpec,
+    Tuple,
+    t,
+)
+from .decomposition import (
+    DecomposedRelation,
+    Decomposition,
+    check_adequacy,
+    is_adequate,
+    parse_decomposition,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DecomposedRelation",
+    "Decomposition",
+    "FDSet",
+    "FunctionalDependency",
+    "ReferenceRelation",
+    "Relation",
+    "RelationInterface",
+    "RelationSpec",
+    "Tuple",
+    "check_adequacy",
+    "is_adequate",
+    "parse_decomposition",
+    "t",
+    "__version__",
+]

@@ -9,17 +9,18 @@ Section 2 of the paper defines five operations on relations::
     query r s C     = π_C {t ∈ !r | t ⊇ s}
 
 :class:`RelationInterface` captures this contract as an abstract base class.
-Three families of implementations exist in the library:
+Two implementations exist in the library:
 
 * :class:`repro.core.reference.ReferenceRelation` — the specification-level
   implementation (a mutable wrapper around :class:`repro.core.Relation`);
-* :class:`repro.synthesis.runtime.SynthesizedRelation` — the interpreted
-  runtime over a decomposition instance; and
-* classes produced by the Python code generator
-  (:mod:`repro.synthesis.codegen_python`).
+  and
+* :class:`repro.decomposition.DecomposedRelation` — the interpreted
+  runtime over a decomposition instance (Section 3), executing each
+  operation through query plans over primitive containers.
 
-All three are interchangeable from the client's point of view, which is the
-paper's central abstraction claim.
+Both are interchangeable from the client's point of view, which is the
+paper's central abstraction claim; a Python code generator that compiles a
+decomposition into a standalone class is a planned follow-up (see ROADMAP).
 """
 
 from __future__ import annotations

@@ -5,7 +5,8 @@ A relation is a set of tuples over identical columns (Section 2).  The
 development: the reference implementation of the relational interface, the
 abstraction function α over decomposition instances, and all soundness tests
 compare against it.  It is deliberately simple and obviously correct; the
-performance-oriented representations live in :mod:`repro.synthesis`.
+performance-oriented representations live in :mod:`repro.decomposition`,
+backed by the containers of :mod:`repro.structures`.
 
 Supported algebra: union, intersection, difference, symmetric difference,
 projection ``π_C``, selection by a partial tuple, natural join ``⋈``, and

@@ -1,0 +1,50 @@
+"""Decompositions (Section 3): describing relations as container hierarchies.
+
+This package implements the middle layer of the paper — the bridge between
+relational specifications (:mod:`repro.core`) and primitive containers
+(:mod:`repro.structures`):
+
+* :mod:`~repro.decomposition.model` — the decomposition DAG
+  (:class:`Decomposition`, :class:`DecompNode`, :class:`MapEdge`) and the
+  :func:`unit` / :func:`edge` construction helpers;
+* :mod:`~repro.decomposition.parser` — the textual notation,
+  e.g. ``"ns, pid -> htable {state, cpu}"``;
+* :mod:`~repro.decomposition.adequacy` — the adequacy judgement of
+  Section 3.2 (:func:`check_adequacy`, :func:`is_adequate`);
+* :mod:`~repro.decomposition.instance` — populated instances, the
+  abstraction function α, and instance well-formedness (Figure 5);
+* :mod:`~repro.decomposition.plan` — straight-line query plans
+  (:func:`plan_query`, :func:`execute_plan`);
+* :mod:`~repro.decomposition.relation` — :class:`DecomposedRelation`, the
+  relational interface over all of the above.
+"""
+
+from .adequacy import adequacy_problems, check_adequacy, enforced_fds, is_adequate
+from .instance import DecompositionInstance, NodeInstance
+from .model import Decomposition, DecompNode, MapEdge, Path, edge, unit
+from .parser import parse_decomposition, tokenize
+from .plan import LookupStep, QueryPlan, ScanStep, execute_plan, plan_query
+from .relation import DecomposedRelation
+
+__all__ = [
+    "Decomposition",
+    "DecompNode",
+    "DecomposedRelation",
+    "DecompositionInstance",
+    "LookupStep",
+    "MapEdge",
+    "NodeInstance",
+    "Path",
+    "QueryPlan",
+    "ScanStep",
+    "adequacy_problems",
+    "check_adequacy",
+    "edge",
+    "enforced_fds",
+    "execute_plan",
+    "is_adequate",
+    "parse_decomposition",
+    "plan_query",
+    "tokenize",
+    "unit",
+]

@@ -1,0 +1,97 @@
+"""The adequacy judgement (Section 3.2, Figure 6).
+
+A decomposition is *adequate* for a specification ``(C, ∆)`` when every
+relation over ``C`` satisfying ``∆`` is representable by some instance of
+the decomposition — i.e. the abstraction function α is surjective onto the
+FD-satisfying relations.  Concretely this reproduction checks, for every
+root-to-leaf path with bound columns ``B`` and leaf unit columns ``U``:
+
+* **column justification** — ``B ∪ U = C``: the path mentions every
+  specification column exactly once and no others.  (Requiring *every*
+  branch to cover all columns is slightly stricter than the paper, which
+  also admits branches that share a sub-node holding the residual columns;
+  node sharing across branches is a planned follow-up, see ROADMAP.)
+* **FD justification** — ``∆ ⊢fd B → U``: a unit stores at most one tuple
+  per binding of ``B``, so the decomposition structurally enforces the
+  dependency ``B → U``.  Adequacy demands that this enforced dependency is
+  *justified* by (entailed by) the specification's FDs — otherwise there
+  are ∆-satisfying relations the decomposition cannot hold.  Since
+  ``B ∪ U = C`` this is exactly the requirement that ``B`` is a key.
+
+:func:`enforced_fds` exposes the dependencies a decomposition enforces by
+construction, which the differential tests use to cross-check the theorem
+that well-formed instances always abstract to FD-satisfying relations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.columns import format_columns
+from ..core.errors import AdequacyError
+from ..core.fd import FDSet, FunctionalDependency
+from ..core.spec import RelationSpec
+from .model import Decomposition
+
+__all__ = ["check_adequacy", "is_adequate", "adequacy_problems", "enforced_fds"]
+
+
+def adequacy_problems(decomposition: Decomposition, spec: RelationSpec) -> List[str]:
+    """Return a human-readable list of reasons the decomposition is not
+    adequate for *spec* (empty when it is adequate)."""
+    problems: List[str] = []
+    for path in decomposition.paths():
+        covered = path.covered
+        extra = covered - spec.columns
+        if extra:
+            problems.append(
+                f"path `{path.describe()}` mentions columns {format_columns(extra)} "
+                f"outside the specification columns {format_columns(spec.columns)}"
+            )
+        missing = spec.columns - covered
+        if missing:
+            problems.append(
+                f"path `{path.describe()}` does not justify columns "
+                f"{format_columns(missing)}: every root-to-leaf path must bind or "
+                f"store every specification column"
+            )
+        if not extra and not missing and not spec.fds.entails(path.bound, path.leaf.unit_columns):
+            problems.append(
+                f"path `{path.describe()}` enforces the dependency "
+                f"{format_columns(path.bound)} → {format_columns(path.leaf.unit_columns)}, "
+                f"which the specification's FDs do not justify (the bound columns "
+                f"{format_columns(path.bound)} are not a key); the decomposition cannot "
+                f"represent every relation satisfying {spec.fds!r}"
+            )
+    return problems
+
+
+def check_adequacy(decomposition: Decomposition, spec: RelationSpec) -> None:
+    """Raise :class:`AdequacyError` unless *decomposition* is adequate for *spec*."""
+    problems = adequacy_problems(decomposition, spec)
+    if problems:
+        raise AdequacyError(
+            f"decomposition {decomposition.name!r} is not adequate for "
+            f"specification {spec.name!r}:\n  - " + "\n  - ".join(problems)
+        )
+
+
+def is_adequate(decomposition: Decomposition, spec: RelationSpec) -> bool:
+    """Decide the adequacy judgement without raising."""
+    return not adequacy_problems(decomposition, spec)
+
+
+def enforced_fds(decomposition: Decomposition) -> FDSet:
+    """The functional dependencies the decomposition enforces structurally.
+
+    Each leaf with bound columns ``B`` and unit columns ``U`` contributes
+    ``B → U`` (a unit holds one tuple per binding).  Leaves with no unit
+    columns contribute nothing — a pure presence marker enforces no
+    dependency.
+    """
+    fds = [
+        FunctionalDependency(path.bound, path.leaf.unit_columns)
+        for path in decomposition.paths()
+        if path.leaf.unit_columns
+    ]
+    return FDSet(fds)

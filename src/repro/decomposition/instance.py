@@ -1,0 +1,245 @@
+"""Decomposition instances: populated container hierarchies, α, well-formedness.
+
+A :class:`DecompositionInstance` is the run-time object graph described by a
+:class:`~repro.decomposition.model.Decomposition`: one
+:class:`NodeInstance` per (node, binding) pair, each internal instance
+holding one primitive container per outgoing edge, each leaf instance
+holding at most one unit tuple.
+
+Three pieces of the formal development live here:
+
+* the **abstraction function** ``α`` (:meth:`DecompositionInstance.alpha`),
+  which reads the represented relation back out of the containers;
+* **instance well-formedness** (Figure 5,
+  :meth:`DecompositionInstance.check_well_formed`): container keys must be
+  valuations of their edge's key columns, unit tuples valuations of their
+  leaf's unit columns, and — for branching nodes — every outgoing edge must
+  represent exactly the same set of tuples;
+* the primitive **mutators** ``insert_tuple`` / ``remove_tuple`` used by
+  :class:`~repro.decomposition.relation.DecomposedRelation` to implement
+  the relational operations.
+
+The mutators take *full* tuples; pattern-based operations are resolved into
+full tuples by query plans first (:mod:`repro.decomposition.plan`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from ..core.errors import WellFormednessError
+from ..core.relation import Relation
+from ..core.spec import RelationSpec
+from ..core.tuples import Tuple
+from ..structures.base import MISSING, AssociativeContainer
+from .adequacy import check_adequacy
+from .model import Decomposition, DecompNode
+
+__all__ = ["NodeInstance", "DecompositionInstance"]
+
+
+class NodeInstance:
+    """The run-time materialisation of one decomposition node for one binding."""
+
+    __slots__ = ("node", "containers", "unit_value")
+
+    def __init__(self, node: DecompNode):
+        self.node = node
+        #: One container per outgoing edge (empty for unit leaves).
+        self.containers: List[AssociativeContainer] = [
+            e.structure_class()() for e in node.edges
+        ]
+        #: The stored tuple of a unit leaf (``None`` when the leaf is empty).
+        self.unit_value: Optional[Tuple] = None
+
+    def __repr__(self) -> str:
+        if self.node.is_unit:
+            return f"NodeInstance(unit={self.unit_value!r})"
+        sizes = ", ".join(str(len(c)) for c in self.containers)
+        return f"NodeInstance(containers=[{sizes}])"
+
+
+class DecompositionInstance:
+    """A populated instance of an adequate decomposition.
+
+    Construction checks adequacy against *spec* (raising
+    :class:`~repro.core.errors.AdequacyError` otherwise), so every instance
+    in the system is an instance of an adequate decomposition — the
+    precondition of the paper's soundness theorem.
+    """
+
+    __slots__ = ("decomposition", "spec", "root")
+
+    def __init__(self, decomposition: Decomposition, spec: RelationSpec):
+        check_adequacy(decomposition, spec)
+        self.decomposition = decomposition
+        self.spec = spec
+        self.root = NodeInstance(decomposition.root)
+
+    # -- mutators ---------------------------------------------------------------
+
+    def insert_tuple(self, tup: Tuple) -> None:
+        """Insert a full tuple, materialising missing sub-instances.
+
+        If a unit reached by the tuple's binding already holds a different
+        residual value, the old tuple is first removed from *every* branch
+        and then replaced (last-writer-wins) — the structural counterpart
+        of an FD violation.  Removing first keeps branching decompositions
+        consistent: overwriting in place would leave the displaced tuple's
+        entries alive under sibling branches' keys.  Callers that must
+        surface FD violations instead (``DecomposedRelation`` with
+        ``enforce_fds=True``) check before calling.
+        """
+        for conflict in self._conflicts(self.root, tup, Tuple.empty()):
+            self.remove_tuple(conflict)
+        self._insert(self.root, tup)
+
+    def _conflicts(self, instance: NodeInstance, tup: Tuple, binding: Tuple) -> Set[Tuple]:
+        """Existing tuples that share a unit binding with *tup* but differ."""
+        node = instance.node
+        if node.is_unit:
+            if instance.unit_value is not None and instance.unit_value != tup.project(
+                node.unit_columns
+            ):
+                return {binding.merge(instance.unit_value)}
+            return set()
+        found: Set[Tuple] = set()
+        for container, e in zip(instance.containers, node.edges):
+            key = tup.project(e.key)
+            child = container.lookup(key)
+            if child is not MISSING:
+                found |= self._conflicts(child, tup, binding.merge(key))
+        return found
+
+    def _insert(self, instance: NodeInstance, tup: Tuple) -> None:
+        node = instance.node
+        if node.is_unit:
+            instance.unit_value = tup.project(node.unit_columns)
+            return
+        for container, e in zip(instance.containers, node.edges):
+            key = tup.project(e.key)
+            child = container.lookup(key)
+            if child is MISSING:
+                child = NodeInstance(e.child)
+                container.insert(key, child)
+            self._insert(child, tup)
+
+    def remove_tuple(self, tup: Tuple) -> bool:
+        """Remove a full tuple; prune sub-instances that become empty.
+
+        Returns ``True`` when the tuple was present (in the primary branch —
+        well-formed instances agree across branches).
+        """
+        removed, _ = self._remove(self.root, tup)
+        return removed
+
+    def _remove(self, instance: NodeInstance, tup: Tuple) -> "tuple[bool, bool]":
+        """Remove *tup* below *instance*; return ``(removed, now_empty)``."""
+        node = instance.node
+        if node.is_unit:
+            if instance.unit_value is not None and instance.unit_value == tup.project(
+                node.unit_columns
+            ):
+                instance.unit_value = None
+                return True, True
+            return False, instance.unit_value is None
+        removed = False
+        empty = True
+        for container, e in zip(instance.containers, node.edges):
+            key = tup.project(e.key)
+            child = container.lookup(key)
+            if child is not MISSING:
+                child_removed, child_empty = self._remove(child, tup)
+                removed = removed or child_removed
+                if child_empty:
+                    container.remove(key)
+            if len(container):
+                empty = False
+        return removed, empty
+
+    def clear(self) -> None:
+        """Reset to the empty instance."""
+        self.root = NodeInstance(self.decomposition.root)
+
+    # -- abstraction function ---------------------------------------------------
+
+    def alpha(self) -> Relation:
+        """``α(instance)`` — the relation this instance represents.
+
+        Reads the primary (first) branch of every node;
+        :meth:`check_well_formed` verifies the other branches agree.
+        """
+        return Relation(self.spec.columns, self.iter_tuples())
+
+    def iter_tuples(self) -> Iterator[Tuple]:
+        """Iterate the represented tuples via each node's primary branch."""
+        yield from self._iter(self.root, Tuple.empty())
+
+    def _iter(self, instance: NodeInstance, binding: Tuple) -> Iterator[Tuple]:
+        node = instance.node
+        if node.is_unit:
+            if instance.unit_value is not None:
+                yield binding.merge(instance.unit_value)
+            return
+        for key, child in instance.containers[0].items():
+            yield from self._iter(child, binding.merge(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_tuples())
+
+    def is_empty(self) -> bool:
+        return next(self.iter_tuples(), None) is None
+
+    # -- well-formedness (Figure 5) ---------------------------------------------
+
+    def check_well_formed(self) -> None:
+        """Verify the instance-level well-formedness rules of Figure 5.
+
+        Raises:
+            WellFormednessError: when a container key or unit tuple has the
+                wrong columns, or when the branches of a node disagree on
+                the set of tuples they represent.
+        """
+        self._check(self.root, Tuple.empty())
+
+    def _check(self, instance: NodeInstance, binding: Tuple) -> Set[Tuple]:
+        node = instance.node
+        if node.is_unit:
+            if instance.unit_value is None:
+                return set()
+            if instance.unit_value.columns != node.unit_columns:
+                raise WellFormednessError(
+                    f"unit instance holds {instance.unit_value!r}, which is not a "
+                    f"valuation of the leaf's unit columns"
+                )
+            return {binding.merge(instance.unit_value)}
+        branch_sets: List[Set[Tuple]] = []
+        for container, e in zip(instance.containers, node.edges):
+            tuples: Set[Tuple] = set()
+            for key, child in container.items():
+                if key.columns != e.key:
+                    raise WellFormednessError(
+                        f"container key {key!r} is not a valuation of the edge's "
+                        f"key columns"
+                    )
+                if not isinstance(child, NodeInstance) or child.node is not e.child:
+                    raise WellFormednessError(
+                        f"container entry under {key!r} is not an instance of the "
+                        f"edge's child node"
+                    )
+                child_tuples = self._check(child, binding.merge(key))
+                if not child_tuples:
+                    raise WellFormednessError(
+                        f"container entry under {key!r} is an empty sub-instance "
+                        f"(empty sub-instances must be pruned)"
+                    )
+                tuples |= child_tuples
+            branch_sets.append(tuples)
+        for later in branch_sets[1:]:
+            if later != branch_sets[0]:
+                missing = branch_sets[0] ^ later
+                raise WellFormednessError(
+                    f"the branches of a node disagree on {len(missing)} tuple(s): "
+                    f"{sorted(missing, key=lambda t: t.sort_key())!r}"
+                )
+        return branch_sets[0]

@@ -1,0 +1,305 @@
+"""Decompositions: rooted DAGs describing how a relation is laid out (Section 3).
+
+A *decomposition* describes how to represent a relation over columns ``C``
+as a hierarchy of primitive containers.  It is a rooted directed acyclic
+graph:
+
+* an internal node has one or more outgoing :class:`MapEdge`\\ s.  An edge
+  ``x --ψ, K--> y`` says: store the sub-relation at *x* in an associative
+  container of kind ``ψ`` (``htable``, ``btree``, ``dlist``, ...) keyed by
+  the columns ``K``, each entry holding a sub-instance shaped like *y*.
+  A node with several outgoing edges stores its sub-relation once per edge
+  (the paper's join/branch decompositions — e.g. an index by ``{ns, pid}``
+  *and* an index by ``{state}``);
+* a leaf node is a *unit* holding a single tuple over its residual columns
+  (possibly none, in which case the unit is a pure presence marker).
+
+Every node has a *type* ``B ▷ C``: ``B`` is the set of columns bound by map
+keys on the way from the root, and ``C`` the columns the node's subtree
+represents.  In this reproduction types are computed per root-to-leaf
+:class:`Path` rather than stored on nodes, which lets the same node object
+be reused in several positions.
+
+This module defines the static shape only.  Judging a decomposition against
+a :class:`~repro.core.spec.RelationSpec` lives in
+:mod:`repro.decomposition.adequacy`; populated instances live in
+:mod:`repro.decomposition.instance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple as PyTuple, Union
+
+from ..core.columns import ColumnSet, columns, format_columns
+from ..core.errors import DecompositionError
+from ..structures.registry import get_structure
+
+__all__ = ["MapEdge", "DecompNode", "Path", "Decomposition", "unit", "edge"]
+
+
+class MapEdge:
+    """A map edge ``--ψ, K-->`` from a node to a child node.
+
+    Parameters:
+        key: the key columns ``K`` (non-empty).
+        structure: the name of a registered container class (``htable``, ...).
+        child: the target :class:`DecompNode`.
+    """
+
+    __slots__ = ("key", "structure", "child")
+
+    def __init__(self, key: Union[str, Iterable[str]], structure: str, child: "DecompNode"):
+        self.key: ColumnSet = columns(key)
+        if not self.key:
+            raise DecompositionError("a map edge needs at least one key column")
+        if not isinstance(structure, str) or not structure:
+            raise DecompositionError(f"edge structure must be a container name; got {structure!r}")
+        # Fail fast on unknown container names (raises DecompositionError).
+        get_structure(structure)
+        if not isinstance(child, DecompNode):
+            raise DecompositionError(f"edge child must be a DecompNode; got {type(child).__name__}")
+        self.structure = structure
+        self.child = child
+
+    def structure_class(self):
+        """The registered :class:`AssociativeContainer` subclass for this edge."""
+        return get_structure(self.structure)
+
+    def __repr__(self) -> str:
+        return f"MapEdge({format_columns(self.key)} -> {self.structure})"
+
+
+class DecompNode:
+    """A node of a decomposition: either a unit leaf or a map node.
+
+    A node holds *either* outgoing edges (an internal map node) *or* a set
+    of unit columns (a leaf); the paper's grammar keeps the two separate and
+    so does this class.
+    """
+
+    __slots__ = ("edges", "unit_columns")
+
+    def __init__(
+        self,
+        edges: Sequence[MapEdge] = (),
+        unit_columns: Union[str, Iterable[str]] = (),
+    ):
+        self.edges: PyTuple[MapEdge, ...] = tuple(edges)
+        self.unit_columns: ColumnSet = columns(unit_columns)
+        if self.edges and self.unit_columns:
+            raise DecompositionError(
+                "a decomposition node is either a map node (with edges) or a unit leaf "
+                f"(with columns), not both: edges={list(self.edges)!r}, "
+                f"unit={format_columns(self.unit_columns)}"
+            )
+        for e in self.edges:
+            if not isinstance(e, MapEdge):
+                raise DecompositionError(f"node edges must be MapEdge instances; got {e!r}")
+
+    @property
+    def is_unit(self) -> bool:
+        """Is this node a unit leaf?"""
+        return not self.edges
+
+    def __repr__(self) -> str:
+        if self.is_unit:
+            return f"unit{format_columns(self.unit_columns)}"
+        return f"DecompNode({len(self.edges)} edges)"
+
+
+def unit(unit_columns: Union[str, Iterable[str]] = ()) -> DecompNode:
+    """Build a unit leaf node, e.g. ``unit("state, cpu")``."""
+    return DecompNode(unit_columns=unit_columns)
+
+
+def edge(
+    key: Union[str, Iterable[str]],
+    structure: str,
+    child: Union[DecompNode, str, Iterable[str]],
+) -> DecompNode:
+    """Build a single-edge map node, e.g. ``edge("ns, pid", "htable", unit("state, cpu"))``.
+
+    As a convenience the child may be given as a column string/iterable, in
+    which case it is wrapped in a unit leaf.
+    """
+    if not isinstance(child, DecompNode):
+        child = unit(child)
+    return DecompNode(edges=(MapEdge(key, structure, child),))
+
+
+class Path:
+    """A root-to-leaf path: the sequence of edges followed plus the leaf node.
+
+    The per-path node typing ``B ▷ C`` of the paper is recovered from paths:
+    :meth:`bound_at` gives ``B`` after the first *depth* edges and
+    :meth:`covered` gives the full column set the path accounts for.
+    """
+
+    __slots__ = ("edges", "leaf", "edge_indices")
+
+    def __init__(self, edges: Sequence[MapEdge], leaf: DecompNode, edge_indices: Sequence[int]):
+        self.edges: PyTuple[MapEdge, ...] = tuple(edges)
+        self.leaf = leaf
+        #: For each step, the index of the edge among its source node's edges.
+        self.edge_indices: PyTuple[int, ...] = tuple(edge_indices)
+
+    def bound_at(self, depth: int) -> ColumnSet:
+        """Columns bound after following the first *depth* edges of the path."""
+        bound: ColumnSet = frozenset()
+        for e in self.edges[:depth]:
+            bound |= e.key
+        return bound
+
+    @property
+    def bound(self) -> ColumnSet:
+        """Columns bound at the leaf (the leaf's ``B``)."""
+        return self.bound_at(len(self.edges))
+
+    @property
+    def covered(self) -> ColumnSet:
+        """Every column this path accounts for: bound keys plus unit columns."""
+        return self.bound | self.leaf.unit_columns
+
+    def describe(self) -> str:
+        parts = [f"{format_columns(e.key)}:{e.structure}" for e in self.edges]
+        parts.append(f"unit{format_columns(self.leaf.unit_columns)}")
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Path({self.describe()})"
+
+
+class Decomposition:
+    """A named, validated decomposition: a root node plus structural checks.
+
+    Construction performs the *structural* well-formedness checks that do
+    not require a specification: the graph must be acyclic, every edge's
+    structure must be registered, and no path may bind or store a column
+    twice.  Checks against a specification (column coverage and the
+    adequacy judgement of Section 3.2) are performed by
+    :func:`repro.decomposition.adequacy.check_adequacy`.
+    """
+
+    __slots__ = ("name", "root", "_paths")
+
+    #: Guard against pathological graphs: branching nodes multiply paths.
+    MAX_PATHS = 64
+
+    def __init__(self, root: DecompNode, name: str = "decomposition"):
+        if not isinstance(root, DecompNode):
+            raise DecompositionError(f"decomposition root must be a DecompNode; got {root!r}")
+        self.name = name
+        self.root = root
+        self._paths: List[Path] = []
+        self._validate()
+
+    # -- structural validation -------------------------------------------------
+
+    def _validate(self) -> None:
+        paths: List[Path] = []
+
+        def walk(node: DecompNode, edges: List[MapEdge], indices: List[int], on_path: List[DecompNode]) -> None:
+            if any(node is seen for seen in on_path):
+                raise DecompositionError(
+                    f"decomposition {self.name!r} contains a cycle through {node!r}"
+                )
+            bound: ColumnSet = frozenset()
+            for e in edges:
+                bound |= e.key
+            if node.is_unit:
+                clash = node.unit_columns & bound
+                if clash:
+                    raise DecompositionError(
+                        f"unit columns {format_columns(clash)} are already bound by "
+                        f"map keys on the path to the leaf"
+                    )
+                if len(paths) >= self.MAX_PATHS:
+                    raise DecompositionError(
+                        f"decomposition {self.name!r} has more than "
+                        f"{self.MAX_PATHS} root-to-leaf paths"
+                    )
+                paths.append(Path(edges, node, indices))
+                return
+            for index, e in enumerate(node.edges):
+                clash = e.key & bound
+                if clash:
+                    raise DecompositionError(
+                        f"map key {format_columns(e.key)} re-binds columns "
+                        f"{format_columns(clash)} already bound on the path from the root"
+                    )
+                walk(e.child, edges + [e], indices + [index], on_path + [node])
+
+        walk(self.root, [], [], [])
+        self._paths = paths
+
+    # -- inspection ------------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """Every root-to-leaf path, in deterministic (left-to-right) order."""
+        return list(self._paths)
+
+    def nodes(self) -> List[DecompNode]:
+        """Every distinct node, in pre-order (deduplicated by identity)."""
+        seen: List[DecompNode] = []
+
+        def visit(node: DecompNode) -> None:
+            if any(node is s for s in seen):
+                return
+            seen.append(node)
+            for e in node.edges:
+                visit(e.child)
+
+        visit(self.root)
+        return seen
+
+    def node_names(self) -> Dict[int, str]:
+        """Stable display names (``x0``, ``x1``, ...) keyed by ``id(node)``."""
+        return {id(node): f"x{i}" for i, node in enumerate(self.nodes())}
+
+    def structures(self) -> List[str]:
+        """The container names used by the decomposition, sorted."""
+        return sorted({e.structure for p in self._paths for e in p.edges})
+
+    def key_columns(self) -> ColumnSet:
+        """Every column bound by some map key."""
+        result: ColumnSet = frozenset()
+        for p in self._paths:
+            result |= p.bound
+        return result
+
+    def covered_columns(self) -> ColumnSet:
+        """Every column mentioned anywhere in the decomposition."""
+        result: ColumnSet = frozenset()
+        for p in self._paths:
+            result |= p.covered
+        return result
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (number of map levels)."""
+        return max(len(p.edges) for p in self._paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    # -- formatting -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Render the decomposition in the textual notation of
+        :mod:`repro.decomposition.parser` (the rendering re-parses to an
+        equivalent decomposition)."""
+        return _format_node(self.root)
+
+    def __repr__(self) -> str:
+        return f"Decomposition({self.name!r}, {self.describe()})"
+
+
+def _format_node(node: DecompNode) -> str:
+    if node.is_unit:
+        return "{" + ", ".join(sorted(node.unit_columns)) + "}"
+    rendered = [
+        f"{', '.join(sorted(e.key))} -> {e.structure} {_format_node(e.child)}"
+        for e in node.edges
+    ]
+    if len(rendered) == 1:
+        return rendered[0]
+    return "[" + " ; ".join(rendered) + "]"

@@ -1,0 +1,222 @@
+"""Parser for the textual decomposition notation.
+
+Decompositions (and the specs they serve) are small enough to be pleasant
+to write as strings, mirroring the paper's graphical notation::
+
+    ns, pid -> htable {state, cpu}
+
+is a hash table keyed by ``{ns, pid}`` whose entries are unit leaves
+holding ``{state, cpu}``.  Maps chain by juxtaposition::
+
+    ns -> htable pid -> btree {state, cpu}
+
+and a node with several outgoing edges (a branching decomposition) is a
+``;``-separated list in square brackets::
+
+    [ns, pid -> htable {state, cpu} ; state -> htable (ns, pid -> dlist {cpu})]
+
+Parentheses group a sub-decomposition where precedence would otherwise be
+ambiguous; ``{}`` is the empty unit (a pure presence marker); ``#`` starts
+a comment running to end of line.
+
+The grammar::
+
+    node    := unit | branch | '(' node ')' | edge
+    unit    := '{' [ cols ] '}'
+    branch  := '[' node (';' node)* ']'
+    edge    := cols '->' IDENT node
+    cols    := IDENT (',' IDENT)*
+
+:func:`parse_decomposition` returns a validated
+:class:`~repro.decomposition.model.Decomposition`;
+:meth:`Decomposition.describe` renders back into this notation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from ..core.errors import ParseError
+from .model import Decomposition, DecompNode, MapEdge
+
+__all__ = ["parse_decomposition", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<arrow>->)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}\[\](),;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens, tracking line/column for error reporting."""
+    tokens: List[Token] = []
+    line, line_start = 1, 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}",
+                line=line,
+                column=position - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = position - line_start + 1
+        if kind == "newline":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, value, line, column))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of decomposition text")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        wanted = text if text is not None else kind
+        if token is None:
+            raise ParseError(f"expected {wanted!r} but the text ended")
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {wanted!r} but found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def at_punct(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "punct" and token.text == text
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_node(self) -> DecompNode:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected a decomposition node but the text ended")
+        if self.at_punct("{"):
+            return self.parse_unit()
+        if self.at_punct("["):
+            return self.parse_branch()
+        if self.at_punct("("):
+            self.advance()
+            node = self.parse_node()
+            self.expect("punct", ")")
+            return node
+        if token.kind == "ident":
+            return self.parse_edge()
+        raise ParseError(
+            f"expected a unit '{{...}}', a branch '[...]', or key columns, "
+            f"but found {token.text!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def parse_unit(self) -> DecompNode:
+        self.expect("punct", "{")
+        names: List[str] = []
+        if not self.at_punct("}"):
+            names.append(self.expect("ident").text)
+            while self.at_punct(","):
+                self.advance()
+                names.append(self.expect("ident").text)
+        self.expect("punct", "}")
+        return DecompNode(unit_columns=names)
+
+    def parse_branch(self) -> DecompNode:
+        opening = self.expect("punct", "[")
+        edges: List[MapEdge] = []
+        while True:
+            node = self.parse_node()
+            if node.is_unit:
+                raise ParseError(
+                    "a branch groups map edges; a unit leaf cannot be a branch "
+                    "alternative",
+                    line=opening.line,
+                    column=opening.column,
+                )
+            edges.extend(node.edges)
+            if self.at_punct(";"):
+                self.advance()
+                continue
+            break
+        self.expect("punct", "]")
+        return DecompNode(edges=edges)
+
+    def parse_edge(self) -> DecompNode:
+        names = [self.expect("ident").text]
+        while self.at_punct(","):
+            self.advance()
+            names.append(self.expect("ident").text)
+        arrow = self.peek()
+        if arrow is None or arrow.kind != "arrow":
+            where = arrow if arrow is not None else self.tokens[self.position - 1]
+            raise ParseError(
+                f"expected '->' after key columns {', '.join(names)}",
+                line=where.line,
+                column=where.column,
+            )
+        self.advance()
+        structure = self.expect("ident").text
+        child = self.parse_node()
+        return DecompNode(edges=(MapEdge(names, structure, child),))
+
+
+def parse_decomposition(text: str, name: str = "decomposition") -> Decomposition:
+    """Parse the textual decomposition notation into a :class:`Decomposition`.
+
+    Raises:
+        ParseError: on malformed text (with line/column information).
+        DecompositionError: when the parsed shape is structurally invalid
+            (unknown structure name, re-bound columns, ...).
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty decomposition text")
+    parser = _Parser(tokens, text)
+    root = parser.parse_node()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"unexpected trailing text starting at {leftover.text!r}",
+            line=leftover.line,
+            column=leftover.column,
+        )
+    return Decomposition(root, name=name)

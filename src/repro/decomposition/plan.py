@@ -1,0 +1,196 @@
+"""Query plans over decomposition instances (the Section 4 plan skeleton).
+
+A query ``query r s C`` is answered by walking one root-to-leaf path of the
+decomposition.  At each edge the planner emits one of two step kinds:
+
+* :class:`LookupStep` — the edge's key columns are all bound by the query
+  pattern, so a single container lookup descends into one sub-instance
+  (cost ``m_ψ(n)``);
+* :class:`ScanStep` — otherwise every entry of the container is visited,
+  skipping entries whose key contradicts the pattern (cost ``n``).
+
+Because adequacy guarantees every path binds or stores every column, any
+single path can answer any query; the planner chooses the cheapest path
+under the containers' cost models (fewest scans first, then estimated
+accesses).  This is a deliberately small subset of the paper's planner — no
+cross-branch joins yet — but it already exploits the structure the
+decomposition provides: a pattern bound on ``{state}`` uses the ``state``
+index branch while a pattern on ``{ns, pid}`` uses the primary-key branch.
+
+:func:`plan_query` is pure planning; :func:`execute_plan` runs a plan
+against a :class:`~repro.decomposition.instance.DecompositionInstance`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from ..core.columns import ColumnSet, columns, format_columns
+from ..core.errors import QueryPlanError
+from ..core.tuples import Tuple
+from ..structures.base import MISSING
+from ..structures.registry import structure_cost
+from .instance import DecompositionInstance, NodeInstance
+from .model import Decomposition, MapEdge, Path
+
+__all__ = ["LookupStep", "ScanStep", "QueryPlan", "plan_query", "execute_plan"]
+
+#: Symbolic container size at which plan costs are compared.
+DEFAULT_COST_SIZE = 1000.0
+
+
+class LookupStep:
+    """Descend through one container entry whose key the pattern determines."""
+
+    __slots__ = ("edge", "edge_index")
+
+    def __init__(self, edge: MapEdge, edge_index: int):
+        self.edge = edge
+        self.edge_index = edge_index
+
+    def cost(self, n: float) -> float:
+        return structure_cost(self.edge.structure, n, "lookup")
+
+    def describe(self) -> str:
+        return f"lookup[{', '.join(sorted(self.edge.key))}]({self.edge.structure})"
+
+
+class ScanStep:
+    """Visit every entry of a container, filtering keys against the pattern."""
+
+    __slots__ = ("edge", "edge_index")
+
+    def __init__(self, edge: MapEdge, edge_index: int):
+        self.edge = edge
+        self.edge_index = edge_index
+
+    def cost(self, n: float) -> float:
+        return structure_cost(self.edge.structure, n, "scan")
+
+    def describe(self) -> str:
+        return f"scan({self.edge.structure})"
+
+
+PlanStep = Union[LookupStep, ScanStep]
+
+
+class QueryPlan:
+    """A straight-line plan: one step per edge of a root-to-leaf path."""
+
+    __slots__ = ("path", "steps", "pattern_columns")
+
+    def __init__(self, path: Path, steps: List[PlanStep], pattern_columns: ColumnSet):
+        self.path = path
+        self.steps = list(steps)
+        self.pattern_columns = pattern_columns
+
+    @property
+    def scan_count(self) -> int:
+        return sum(1 for step in self.steps if isinstance(step, ScanStep))
+
+    @property
+    def lookup_count(self) -> int:
+        return sum(1 for step in self.steps if isinstance(step, LookupStep))
+
+    def estimated_cost(self, n: float = DEFAULT_COST_SIZE) -> float:
+        """A coarse cost estimate: scans multiply the frontier, lookups do not."""
+        total = 0.0
+        frontier = 1.0
+        for step in self.steps:
+            total += frontier * step.cost(n)
+            if isinstance(step, ScanStep):
+                frontier *= max(1.0, n)
+        return total
+
+    def describe(self) -> str:
+        body = " -> ".join(step.describe() for step in self.steps)
+        return body or "unit"
+
+    def __repr__(self) -> str:
+        return f"QueryPlan({self.describe()} | pattern={format_columns(self.pattern_columns)})"
+
+
+def plan_query(
+    decomposition: Decomposition,
+    pattern_columns: Union[str, Iterable[str]],
+    require_lookup: bool = False,
+) -> QueryPlan:
+    """Choose the cheapest straight-line plan for a pattern over *pattern_columns*.
+
+    Args:
+        decomposition: the (validated) decomposition to plan against.
+        pattern_columns: the columns the query pattern binds.
+        require_lookup: when ``True``, raise :class:`QueryPlanError` unless a
+            plan exists whose every step is a lookup (the paper's "query is
+            supported efficiently" notion used by operation planning).
+    """
+    bound = columns(pattern_columns)
+    best = None
+    best_plan = None
+    for path_index, path in enumerate(decomposition.paths()):
+        steps: List[PlanStep] = []
+        for edge_index, e in zip(path.edge_indices, path.edges):
+            if e.key <= bound:
+                steps.append(LookupStep(e, edge_index))
+            else:
+                steps.append(ScanStep(e, edge_index))
+        plan = QueryPlan(path, steps, bound)
+        rank = (plan.scan_count, plan.estimated_cost(), path_index)
+        if best is None or rank < best:
+            best, best_plan = rank, plan
+    if best_plan is None:
+        raise QueryPlanError(
+            f"decomposition {decomposition.name!r} has no root-to-leaf paths"
+        )
+    if require_lookup and best_plan.scan_count:
+        raise QueryPlanError(
+            f"no lookup-only plan answers a pattern over {format_columns(bound)} "
+            f"on decomposition {decomposition.name!r}; best plan is "
+            f"{best_plan.describe()}"
+        )
+    return best_plan
+
+
+def execute_plan(
+    plan: QueryPlan, instance: DecompositionInstance, pattern: Tuple
+) -> Iterator[Tuple]:
+    """Run *plan* against *instance*, yielding the full matching tuples.
+
+    The residual pattern columns (those stored in unit leaves rather than
+    bound by map keys) are filtered at the leaves via ``t ⊇ pattern``.
+    """
+    if not plan.pattern_columns <= pattern.columns:
+        raise QueryPlanError(
+            f"plan for pattern columns {format_columns(plan.pattern_columns)} cannot "
+            f"execute pattern {pattern!r}: the pattern must bind at least the "
+            f"planned columns"
+        )
+    yield from _execute(plan, 0, instance.root, Tuple.empty(), pattern)
+
+
+def _execute(
+    plan: QueryPlan,
+    depth: int,
+    instance: NodeInstance,
+    binding: Tuple,
+    pattern: Tuple,
+) -> Iterator[Tuple]:
+    if depth == len(plan.steps):
+        if instance.unit_value is None:
+            # An empty unit represents no tuple.
+            return
+        result = binding.merge(instance.unit_value)
+        if result.extends(pattern):
+            yield result
+        return
+    step = plan.steps[depth]
+    container = instance.containers[step.edge_index]
+    if isinstance(step, LookupStep):
+        key = pattern.project(step.edge.key)
+        child = container.lookup(key)
+        if child is not MISSING:
+            yield from _execute(plan, depth + 1, child, binding.merge(key), pattern)
+        return
+    for key, child in container.items():
+        if key.matches(pattern):
+            yield from _execute(plan, depth + 1, child, binding.merge(key), pattern)

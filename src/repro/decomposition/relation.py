@@ -1,0 +1,156 @@
+"""``DecomposedRelation`` — the relational interface over a decomposition.
+
+This is the paper's synthesized representation as an interpreter: the five
+relational operations of Section 2 executed against a
+:class:`~repro.decomposition.instance.DecompositionInstance` through query
+plans.  It is interchangeable with
+:class:`~repro.core.reference.ReferenceRelation` — the randomized
+differential tests in ``tests/test_differential.py`` drive both through
+identical operation sequences and assert ``α`` agrees after every step
+(Theorem 5's dynamic counterpart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Union
+
+from ..core.columns import ColumnSet, columns
+from ..core.errors import FunctionalDependencyError
+from ..core.interface import RelationInterface, coerce_tuple
+from ..core.relation import Relation
+from ..core.spec import RelationSpec
+from ..core.tuples import Tuple
+from .instance import DecompositionInstance
+from .model import Decomposition
+from .parser import parse_decomposition
+from .plan import QueryPlan, execute_plan, plan_query
+
+__all__ = ["DecomposedRelation"]
+
+
+class DecomposedRelation(RelationInterface):
+    """A mutable relation stored according to a decomposition.
+
+    Parameters:
+        spec: the relational specification ``(C, ∆)``.
+        decomposition: a :class:`Decomposition` or a string in the textual
+            notation of :mod:`repro.decomposition.parser`; it must be
+            adequate for *spec* (:class:`~repro.core.errors.AdequacyError`
+            is raised otherwise).
+        enforce_fds: when ``True`` (default), ``insert`` and ``update``
+            raise :class:`~repro.core.errors.FunctionalDependencyError`
+            rather than perform an FD-violating operation, mirroring
+            :class:`~repro.core.reference.ReferenceRelation`.  When
+            ``False``, an FD-violating insert silently replaces the
+            conflicting tuples (last-writer-wins, in every branch) — the
+            structural behaviour of the representation, which can only
+            hold FD-satisfying relations.
+    """
+
+    def __init__(
+        self,
+        spec: RelationSpec,
+        decomposition: Union[Decomposition, str],
+        enforce_fds: bool = True,
+    ):
+        if isinstance(decomposition, str):
+            decomposition = parse_decomposition(decomposition)
+        self.spec = spec
+        self.decomposition = decomposition
+        self.enforce_fds = enforce_fds
+        self.instance = DecompositionInstance(decomposition, spec)
+        self._plan_cache: Dict[ColumnSet, QueryPlan] = {}
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan_for(self, pattern_columns: Union[str, Iterable[str], ColumnSet]) -> QueryPlan:
+        """The (cached) plan used for patterns over *pattern_columns*."""
+        key = columns(pattern_columns)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = plan_query(self.decomposition, key)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _matches(self, pattern: Tuple) -> List[Tuple]:
+        """All full tuples extending *pattern* (deduplicated)."""
+        plan = self.plan_for(pattern.columns)
+        return list(dict.fromkeys(execute_plan(plan, self.instance, pattern)))
+
+    # -- the five operations ----------------------------------------------------
+
+    def insert(self, tup: Union[Tuple, Mapping]) -> None:
+        tup = coerce_tuple(tup)
+        self.spec.check_full_tuple(tup)
+        if self._matches(tup):
+            return  # Already present: insert is idempotent.
+        if self.enforce_fds:
+            for fd in self.spec.fds:
+                for existing in self._matches(tup.project(fd.lhs)):
+                    if existing.project(fd.rhs) != tup.project(fd.rhs):
+                        raise FunctionalDependencyError(
+                            f"inserting {tup!r} would violate {fd!r}"
+                        )
+        self.instance.insert_tuple(tup)
+
+    def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
+        pattern = coerce_tuple(pattern)
+        self.spec.check_partial_tuple(pattern, role="removal pattern")
+        for victim in self._matches(pattern):
+            self.instance.remove_tuple(victim)
+
+    def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
+        pattern = coerce_tuple(pattern)
+        changes = coerce_tuple(changes)
+        self.spec.check_partial_tuple(pattern, role="update pattern")
+        self.spec.check_partial_tuple(changes, role="update changes")
+        if not changes.columns:
+            return
+        victims = self._matches(pattern)
+        if not victims:
+            return
+        merged = [victim.merge(changes) for victim in victims]
+        if self.enforce_fds:
+            updated = (set(self.scan()) - set(victims)) | set(merged)
+            if not self.spec.fds.satisfied_by(updated):
+                raise FunctionalDependencyError(
+                    f"update with pattern {pattern!r} and changes {changes!r} would "
+                    f"violate the specification's functional dependencies"
+                )
+        for victim in victims:
+            self.instance.remove_tuple(victim)
+        for tup in merged:
+            self.instance.insert_tuple(tup)
+
+    def query(
+        self,
+        pattern: Union[Tuple, Mapping, None] = None,
+        output: Union[str, Iterable[str], None] = None,
+    ) -> List[Tuple]:
+        pattern = coerce_tuple(pattern)
+        self.spec.check_partial_tuple(pattern, role="query pattern")
+        if output is None:
+            wanted = self.spec.columns
+        else:
+            wanted = self.spec.check_output_columns(output)
+        results = {t.project(wanted) for t in self._matches(pattern)}
+        return list(results)
+
+    # -- inspection -------------------------------------------------------------
+
+    def to_relation(self) -> Relation:
+        return self.instance.alpha()
+
+    def checkpoint(self) -> Relation:
+        """Alias of :meth:`to_relation`, used by differential tests."""
+        return self.to_relation()
+
+    def check_well_formed(self) -> None:
+        """Check the underlying instance (delegates to Figure 5's rules)."""
+        self.instance.check_well_formed()
+
+    def __repr__(self) -> str:
+        return (
+            f"DecomposedRelation(spec={self.spec.name!r}, "
+            f"decomposition={self.decomposition.describe()!r}, size={len(self)})"
+        )

@@ -25,6 +25,7 @@ from .registry import (
     default_structure_names,
     get_structure,
     register_structure,
+    structure_cost,
     structure_names,
 )
 from .vector import IndexedVectorMap, VectorMap
@@ -44,5 +45,6 @@ __all__ = [
     "default_structure_names",
     "get_structure",
     "register_structure",
+    "structure_cost",
     "structure_names",
 ]

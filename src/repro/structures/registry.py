@@ -22,6 +22,7 @@ __all__ = [
     "register_structure",
     "get_structure",
     "structure_names",
+    "structure_cost",
     "default_structure_names",
     "STRUCTURE_REGISTRY",
 ]
@@ -57,14 +58,45 @@ def structure_names() -> List[str]:
     return sorted(STRUCTURE_REGISTRY)
 
 
+def structure_cost(name: str, n: float, operation: str = "lookup") -> float:
+    """Cost-model hook by structure *name*: expected accesses for *operation*.
+
+    ``operation`` is ``"lookup"`` (the per-key cost ``m_ψ(n)``) or
+    ``"scan"`` (full iteration).  The query planner's step costs
+    (:mod:`repro.decomposition.plan`) go through this entry point, so
+    user-registered containers participate in cost estimation with no
+    further wiring; the autotuner (see ROADMAP) will use it the same way.
+    """
+    cls = get_structure(name)
+    if operation == "lookup":
+        return cls.estimate_accesses(n)
+    if operation == "scan":
+        return cls.scan_cost(n)
+    raise DecompositionError(f"unknown cost operation {operation!r}; use 'lookup' or 'scan'")
+
+
 def default_structure_names() -> List[str]:
     """The structures the autotuner considers by default.
 
     ``ivector`` is excluded because it only differs from ``htable`` in
     constant factors for integer keys, which keeps the autotuner's search
     space aligned with the paper's (list / tree / hash / vector).
+
+    The returned names are validated against :data:`STRUCTURE_REGISTRY` at
+    call time, so a renamed or unregistered container fails loudly here
+    rather than surfacing later as an unknown-structure error deep inside
+    decomposition construction.
     """
-    return ["dlist", "ilist", "btree", "htable", "vector"]
+    names = ["dlist", "ilist", "btree", "htable", "vector"]
+    unregistered = [name for name in names if name not in STRUCTURE_REGISTRY]
+    if unregistered:
+        known = ", ".join(sorted(STRUCTURE_REGISTRY))
+        raise DecompositionError(
+            f"default structure names {unregistered!r} are not registered "
+            f"(registered structures: {known}); update default_structure_names() "
+            f"to match the container library"
+        )
+    return names
 
 
 for _cls in (DListMap, IntrusiveListMap, HashTableMap, AVLTreeMap, VectorMap, IndexedVectorMap):

@@ -1,0 +1,15 @@
+"""Shared fixtures: the paper's process-scheduler specification."""
+
+import pytest
+
+from repro.core import RelationSpec
+
+
+@pytest.fixture
+def scheduler_spec() -> RelationSpec:
+    """The running example of the paper: processes keyed by (ns, pid)."""
+    return RelationSpec(
+        "ns, pid, state, cpu",
+        fds=["ns, pid -> state, cpu"],
+        name="process",
+    )

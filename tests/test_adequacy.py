@@ -1,0 +1,129 @@
+"""The adequacy judgement (Section 3.2) and instance well-formedness (Figure 5)."""
+
+import pytest
+
+from repro.core import RelationSpec, t
+from repro.core.errors import AdequacyError, WellFormednessError
+from repro.decomposition import (
+    DecomposedRelation,
+    DecompositionInstance,
+    adequacy_problems,
+    check_adequacy,
+    enforced_fds,
+    is_adequate,
+    parse_decomposition,
+)
+
+ADEQUATE = [
+    # The flat primary-key map.
+    "ns, pid -> htable {state, cpu}",
+    # Nested maps, one key column per level.
+    "ns -> htable pid -> btree {state, cpu}",
+    # The paper's scheduler shape: a primary index and a state index.
+    "[ns -> htable pid -> btree {state, cpu} ; state -> htable (ns, pid -> dlist {cpu})]",
+    # All columns bound by keys; leaves are pure presence markers.
+    "ns, pid -> htable (state, cpu -> dlist {})",
+    # A superkey is fine (state is determined but also bound).
+    "ns, pid, state -> btree {cpu}",
+]
+
+INADEQUATE = [
+    # pid never appears: the decomposition cannot distinguish processes.
+    "ns -> htable {state, cpu}",
+    # {ns} is not a key: the unit would collapse distinct (ns, pid) tuples.
+    "ns -> htable {pid, state, cpu}",
+    # Second branch loses cpu.
+    "[ns, pid -> htable {state, cpu} ; state -> htable ns, pid -> dlist {}]",
+    # {state, cpu} is not a key either.
+    "state, cpu -> htable {ns, pid}",
+    # Root unit: only constant relations would be representable.
+    "{ns, pid, state, cpu}",
+]
+
+
+class TestAdequacyJudgement:
+    @pytest.mark.parametrize("text", ADEQUATE)
+    def test_adequate_layouts_pass(self, scheduler_spec, text):
+        d = parse_decomposition(text)
+        assert is_adequate(d, scheduler_spec)
+        assert adequacy_problems(d, scheduler_spec) == []
+        check_adequacy(d, scheduler_spec)  # must not raise
+
+    @pytest.mark.parametrize("text", INADEQUATE)
+    def test_inadequate_layouts_rejected(self, scheduler_spec, text):
+        d = parse_decomposition(text)
+        assert not is_adequate(d, scheduler_spec)
+        with pytest.raises(AdequacyError):
+            check_adequacy(d, scheduler_spec)
+
+    def test_fd_problem_message_names_the_unjustified_dependency(self, scheduler_spec):
+        problems = adequacy_problems(
+            parse_decomposition("ns -> htable {pid, state, cpu}"), scheduler_spec
+        )
+        assert len(problems) == 1
+        assert "not a key" in problems[0]
+
+    def test_column_outside_spec_is_reported(self, scheduler_spec):
+        problems = adequacy_problems(
+            parse_decomposition("ns, pid -> htable {state, cpu, nice}"), scheduler_spec
+        )
+        assert any("outside the specification" in p for p in problems)
+
+    def test_adequacy_depends_on_fds(self):
+        # Without FDs, no unit with columns can be adequate over >1 column...
+        free = RelationSpec("a, b", fds=[], name="free")
+        assert not is_adequate(parse_decomposition("a -> htable {b}"), free)
+        # ...but binding every column with a presence-marker unit is.
+        assert is_adequate(parse_decomposition("a -> htable b -> dlist {}"), free)
+        assert is_adequate(parse_decomposition("a, b -> htable {}"), free)
+
+    def test_enforced_fds_are_entailed_by_spec(self, scheduler_spec):
+        for text in ADEQUATE:
+            for fd in enforced_fds(parse_decomposition(text)):
+                assert scheduler_spec.fds.entails_fd(fd)
+
+    def test_instance_construction_checks_adequacy(self, scheduler_spec):
+        with pytest.raises(AdequacyError):
+            DecompositionInstance(parse_decomposition(INADEQUATE[0]), scheduler_spec)
+        with pytest.raises(AdequacyError):
+            DecomposedRelation(scheduler_spec, INADEQUATE[1])
+
+
+class TestInstanceWellFormedness:
+    def test_populated_instances_are_well_formed(self, scheduler_spec):
+        for text in ADEQUATE:
+            rel = DecomposedRelation(scheduler_spec, text)
+            rel.insert(t(ns=1, pid=1, state="R", cpu=0))
+            rel.insert(t(ns=1, pid=2, state="S", cpu=1))
+            rel.check_well_formed()
+
+    def test_branch_disagreement_is_detected(self, scheduler_spec):
+        rel = DecomposedRelation(
+            scheduler_spec,
+            "[ns, pid -> htable {state, cpu} ; state -> htable ns, pid -> dlist {cpu}]",
+        )
+        rel.insert(t(ns=1, pid=1, state="R", cpu=0))
+        rel.insert(t(ns=1, pid=2, state="S", cpu=1))
+        # Corrupt the second branch behind the interface's back.
+        state_index = rel.instance.root.containers[1]
+        state_key = next(iter(state_index.keys()))
+        state_index.remove(state_key)
+        with pytest.raises(WellFormednessError, match="disagree"):
+            rel.check_well_formed()
+
+    def test_wrong_key_columns_are_detected(self, scheduler_spec):
+        rel = DecomposedRelation(scheduler_spec, "ns, pid -> htable {state, cpu}")
+        rel.insert(t(ns=1, pid=1, state="R", cpu=0))
+        container = rel.instance.root.containers[0]
+        value = next(iter(container.values()))
+        container.insert(t(ns=2), value)  # key missing the pid column
+        with pytest.raises(WellFormednessError, match="key columns"):
+            rel.check_well_formed()
+
+    def test_dangling_empty_subinstance_is_detected(self, scheduler_spec):
+        rel = DecomposedRelation(scheduler_spec, "ns -> htable pid -> btree {state, cpu}")
+        rel.insert(t(ns=1, pid=1, state="R", cpu=0))
+        inner = rel.instance.root.containers[0].lookup(t(ns=1))
+        inner.containers[0].lookup(t(pid=1)).unit_value = None
+        with pytest.raises(WellFormednessError, match="empty sub-instance"):
+            rel.check_well_formed()

@@ -1,0 +1,153 @@
+"""Decomposition model construction, structural validation, and the parser."""
+
+import pytest
+
+from repro.core.errors import DecompositionError, ParseError
+from repro.decomposition import (
+    Decomposition,
+    DecompNode,
+    MapEdge,
+    edge,
+    parse_decomposition,
+    unit,
+)
+
+
+class TestModel:
+    def test_unit_and_edge_helpers(self):
+        d = Decomposition(edge("ns, pid", "htable", unit("state, cpu")), name="flat")
+        assert d.depth() == 1
+        assert d.structures() == ["htable"]
+        assert d.key_columns() == frozenset({"ns", "pid"})
+        assert d.covered_columns() == frozenset({"ns", "pid", "state", "cpu"})
+
+    def test_edge_child_shorthand(self):
+        d = Decomposition(edge("ns, pid", "htable", "state, cpu"))
+        assert d.paths()[0].leaf.unit_columns == frozenset({"state", "cpu"})
+
+    def test_node_cannot_be_unit_and_map(self):
+        with pytest.raises(DecompositionError, match="not both"):
+            DecompNode(edges=(MapEdge("a", "htable", unit("b")),), unit_columns="c")
+
+    def test_edge_requires_key_columns(self):
+        with pytest.raises(DecompositionError, match="key column"):
+            MapEdge([], "htable", unit("a"))
+
+    def test_unknown_structure_fails_fast(self):
+        with pytest.raises(DecompositionError, match="unknown data structure"):
+            MapEdge("a", "skiplist", unit("b"))
+
+    def test_rebinding_a_column_is_rejected(self):
+        with pytest.raises(DecompositionError, match="re-binds"):
+            Decomposition(edge("a", "htable", edge("a, b", "htable", unit("c"))))
+
+    def test_unit_cannot_store_bound_columns(self):
+        with pytest.raises(DecompositionError, match="already bound"):
+            Decomposition(edge("a", "htable", unit("a, b")))
+
+    def test_cycles_are_rejected(self):
+        inner = DecompNode(edges=(MapEdge("a", "htable", unit("b")),))
+        # Force a cycle by mutating the edge tuple (bypassing constructors).
+        inner.edges = (inner.edges[0], MapEdge("c", "htable", inner))
+        with pytest.raises(DecompositionError, match="cycle"):
+            Decomposition(inner)
+
+    def test_paths_and_typing(self):
+        d = parse_decomposition(
+            "[ns -> htable pid -> btree {state, cpu} ; state -> htable (ns, pid -> dlist {cpu})]"
+        )
+        paths = d.paths()
+        assert len(paths) == 2
+        first, second = paths
+        assert first.bound == frozenset({"ns", "pid"})
+        assert first.bound_at(1) == frozenset({"ns"})
+        assert second.bound == frozenset({"state", "ns", "pid"})
+        assert second.covered == frozenset({"state", "ns", "pid", "cpu"})
+        assert [e.structure for e in second.edges] == ["htable", "dlist"]
+
+    def test_nodes_are_deduplicated_by_identity(self):
+        shared = unit("c")
+        root = DecompNode(
+            edges=(MapEdge("a", "htable", shared), MapEdge("b", "htable", shared))
+        )
+        d = Decomposition(root)
+        assert len(d.nodes()) == 2
+        assert len(d.paths()) == 2
+
+    def test_describe_round_trips(self):
+        for text in [
+            "ns, pid -> htable {state, cpu}",
+            "ns -> htable pid -> btree {state, cpu}",
+            "[ns, pid -> htable {state, cpu} ; state -> htable ns, pid -> dlist {cpu}]",
+            "a -> vector {}",
+        ]:
+            d = parse_decomposition(text)
+            again = parse_decomposition(d.describe())
+            assert again.describe() == d.describe()
+
+
+class TestParser:
+    def test_simple_map_to_unit(self):
+        d = parse_decomposition("ns, pid -> htable {state, cpu}")
+        (path,) = d.paths()
+        assert path.edges[0].key == frozenset({"ns", "pid"})
+        assert path.edges[0].structure == "htable"
+        assert path.leaf.unit_columns == frozenset({"state", "cpu"})
+
+    def test_chained_maps_without_parens(self):
+        d = parse_decomposition("ns -> htable pid -> btree {state, cpu}")
+        (path,) = d.paths()
+        assert [e.structure for e in path.edges] == ["htable", "btree"]
+
+    def test_parenthesised_child(self):
+        d = parse_decomposition("ns -> htable (pid -> btree {state, cpu})")
+        assert d.describe() == parse_decomposition(
+            "ns -> htable pid -> btree {state, cpu}"
+        ).describe()
+
+    def test_empty_unit(self):
+        d = parse_decomposition("a, b -> htable {}")
+        assert d.paths()[0].leaf.unit_columns == frozenset()
+
+    def test_comments_and_whitespace(self):
+        d = parse_decomposition(
+            """
+            # the paper's scheduler layout
+            ns, pid -> htable  # primary key index
+                {state, cpu}
+            """
+        )
+        assert d.depth() == 1
+
+    def test_branch_merges_edges(self):
+        d = parse_decomposition("[a -> htable {b} ; b -> btree {a}]")
+        assert len(d.root.edges) == 2
+
+    def test_branch_of_unit_is_rejected(self):
+        with pytest.raises(ParseError, match="unit leaf cannot be a branch"):
+            parse_decomposition("[{a} ; b -> htable {a}]")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "ns, pid",
+            "ns -> {a}",
+            "ns -> htable",
+            "ns -> htable {a} trailing",
+            "ns ->> htable {a}",
+            "{a",
+            "[a -> htable {b}",
+            "(a -> htable {b}",
+            "a, -> htable {b}",
+        ],
+    )
+    def test_malformed_text_raises_parse_error(self, bad):
+        with pytest.raises(ParseError):
+            parse_decomposition(bad)
+
+    def test_parse_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_decomposition("ns -> htable\n{a} %")
+        assert excinfo.value.line == 2
+        assert "line 2" in str(excinfo.value)

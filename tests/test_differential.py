@@ -1,0 +1,142 @@
+"""Randomized differential testing: DecomposedRelation vs ReferenceRelation.
+
+The paper's soundness theorem (Theorem 5) says that running any sequence of
+relational operations against an instance of an adequate, well-formed
+decomposition yields — through the abstraction function α — exactly the
+relation the specification-level reference implementation holds.  These
+tests check the dynamic counterpart: ~1000 seeded random operations are
+applied to both implementations in lockstep, asserting after **every**
+operation that
+
+* ``α(instance)`` equals the reference relation,
+* query results agree (as sets) for random patterns and outputs,
+* FD-violating operations raise :class:`FunctionalDependencyError` on both
+  sides and leave both states untouched,
+
+and, periodically, that the instance stays well-formed (Figure 5) and that
+α always satisfies the specification's FDs.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ReferenceRelation, Tuple
+from repro.core.errors import FunctionalDependencyError
+from repro.decomposition import DecomposedRelation, parse_decomposition
+
+#: Two structurally distinct adequate decompositions of the scheduler spec
+#: (acceptance criterion: both must survive the 1000-op differential run).
+DECOMPOSITIONS = {
+    "flat-htable": "ns, pid -> htable {state, cpu}",
+    "scheduler-indexes": (
+        "[ns -> htable pid -> btree {state, cpu}"
+        " ; state -> htable (ns, pid -> dlist {cpu})]"
+    ),
+    "all-bound": "ns, pid -> btree (state, cpu -> dlist {})",
+}
+
+NS_DOMAIN = [0, 1, 2]
+PID_DOMAIN = [0, 1, 2, 3]
+STATE_DOMAIN = ["R", "S", "W"]
+CPU_DOMAIN = [0, 1]
+COLUMNS = ("ns", "pid", "state", "cpu")
+DOMAINS = {"ns": NS_DOMAIN, "pid": PID_DOMAIN, "state": STATE_DOMAIN, "cpu": CPU_DOMAIN}
+
+
+def random_full_tuple(rng: random.Random) -> Tuple:
+    return Tuple({c: rng.choice(DOMAINS[c]) for c in COLUMNS})
+
+
+def random_pattern(rng: random.Random, max_columns: int = 3) -> Tuple:
+    chosen = rng.sample(COLUMNS, k=rng.randint(0, max_columns))
+    return Tuple({c: rng.choice(DOMAINS[c]) for c in chosen})
+
+
+def apply_both(op, reference, decomposed):
+    """Apply *op* to both implementations; FD rejections must agree."""
+    ref_error = dec_error = None
+    try:
+        op(reference)
+    except FunctionalDependencyError as error:
+        ref_error = error
+    try:
+        op(decomposed)
+    except FunctionalDependencyError as error:
+        dec_error = error
+    assert (ref_error is None) == (dec_error is None), (
+        f"implementations disagree on FD enforcement: "
+        f"reference={ref_error!r}, decomposed={dec_error!r}"
+    )
+
+
+@pytest.mark.parametrize("layout", sorted(DECOMPOSITIONS))
+def test_differential_1000_ops(layout, scheduler_spec):
+    rng = random.Random(20110604)  # PLDI 2011 started June 4th.
+    decomposition = parse_decomposition(DECOMPOSITIONS[layout], name=layout)
+    reference = ReferenceRelation(scheduler_spec)
+    decomposed = DecomposedRelation(scheduler_spec, decomposition)
+
+    operations = 0
+    for step in range(1000):
+        roll = rng.random()
+        if roll < 0.45:
+            tup = random_full_tuple(rng)
+            apply_both(lambda r: r.insert(tup), reference, decomposed)
+        elif roll < 0.65:
+            pattern = random_pattern(rng)
+            apply_both(lambda r: r.remove(pattern), reference, decomposed)
+        elif roll < 0.85:
+            pattern = random_pattern(rng, max_columns=2)
+            changes = random_pattern(rng, max_columns=2)
+            apply_both(lambda r: r.update(pattern, changes), reference, decomposed)
+        else:
+            pattern = random_pattern(rng)
+            output = rng.sample(COLUMNS, k=rng.randint(1, 4))
+            assert set(decomposed.query(pattern, output)) == set(
+                reference.query(pattern, output)
+            )
+        operations += 1
+
+        # The soundness property, after every single operation.
+        alpha = decomposed.to_relation()
+        assert alpha == reference.to_relation(), (
+            f"[{layout}] α diverged from the reference after step {step}"
+        )
+        if step % 100 == 0 or step == 999:
+            decomposed.check_well_formed()
+            assert alpha.satisfies(scheduler_spec.fds)
+
+    assert operations == 1000
+
+
+@pytest.mark.parametrize("layout", sorted(DECOMPOSITIONS))
+def test_differential_without_fd_enforcement(layout, scheduler_spec):
+    """FD-respecting op sequences agree even with enforcement turned off."""
+    rng = random.Random(7)
+    decomposed = DecomposedRelation(
+        scheduler_spec, DECOMPOSITIONS[layout], enforce_fds=False
+    )
+    reference = ReferenceRelation(scheduler_spec, enforce_fds=False)
+    live = {}
+    for _ in range(300):
+        if live and rng.random() < 0.3:
+            key = rng.choice(sorted(live))
+            del live[key]
+            pattern = Tuple({"ns": key[0], "pid": key[1]})
+            reference.remove(pattern)
+            decomposed.remove(pattern)
+        else:
+            ns, pid = rng.choice(NS_DOMAIN), rng.choice(PID_DOMAIN)
+            residual = (rng.choice(STATE_DOMAIN), rng.choice(CPU_DOMAIN))
+            if (ns, pid) in live:
+                # Replace via remove+insert so the sequence stays FD-respecting.
+                reference.remove(Tuple({"ns": ns, "pid": pid}))
+                decomposed.remove(Tuple({"ns": ns, "pid": pid}))
+            live[(ns, pid)] = residual
+            tup = Tuple({"ns": ns, "pid": pid, "state": residual[0], "cpu": residual[1]})
+            reference.insert(tup)
+            decomposed.insert(tup)
+        assert decomposed.to_relation() == reference.to_relation()
+    decomposed.check_well_formed()
+    assert len(reference) == len(live)

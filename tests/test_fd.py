@@ -1,0 +1,90 @@
+"""Functional dependencies: parsing, closure, entailment, keys, semantics."""
+
+import pytest
+
+from repro.core import FDSet, FunctionalDependency, t
+from repro.core.errors import SpecificationError
+
+
+class TestFunctionalDependency:
+    def test_parse(self):
+        fd = FunctionalDependency.parse("ns, pid -> state, cpu")
+        assert fd.lhs == frozenset({"ns", "pid"})
+        assert fd.rhs == frozenset({"state", "cpu"})
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(SpecificationError):
+            FunctionalDependency.parse("ns, pid")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(SpecificationError):
+            FunctionalDependency("a", [])
+
+    def test_empty_lhs_means_constant_columns(self):
+        fd = FunctionalDependency([], "a")
+        assert fd.holds_on([t(a=1, b=1), t(a=1, b=2)])
+        assert not fd.holds_on([t(a=1, b=1), t(a=2, b=2)])
+
+    def test_trivial(self):
+        assert FunctionalDependency("a, b", "a").is_trivial()
+        assert not FunctionalDependency("a", "b").is_trivial()
+
+    def test_holds_on(self):
+        fd = FunctionalDependency("a", "b")
+        assert fd.holds_on([t(a=1, b=2, c=3), t(a=2, b=2, c=4)])
+        assert not fd.holds_on([t(a=1, b=2, c=3), t(a=1, b=9, c=3)])
+
+
+class TestFDSet:
+    def test_closure(self):
+        fds = FDSet(["a -> b", "b -> c"])
+        assert fds.closure("a") == frozenset({"a", "b", "c"})
+        assert fds.closure("b") == frozenset({"b", "c"})
+        assert fds.closure("c") == frozenset({"c"})
+
+    def test_entailment_is_transitive(self):
+        fds = FDSet(["a -> b", "b -> c"])
+        assert fds.entails("a", "c")
+        assert not fds.entails("c", "a")
+
+    def test_entailment_augmentation(self):
+        fds = FDSet(["a -> b"])
+        assert fds.entails("a, c", "b, c")
+
+    def test_is_key_and_minimal_keys(self):
+        fds = FDSet(["ns, pid -> state, cpu"])
+        cols = "ns, pid, state, cpu"
+        assert fds.is_key("ns, pid", cols)
+        assert not fds.is_key("ns", cols)
+        assert fds.minimal_keys(cols) == [frozenset({"ns", "pid"})]
+
+    def test_minimal_keys_multiple(self):
+        fds = FDSet(["a -> b", "b -> a"])
+        keys = fds.minimal_keys("a, b")
+        assert sorted(keys, key=sorted) == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_satisfied_by_and_violations(self):
+        fds = FDSet(["a -> b"])
+        good = [t(a=1, b=1), t(a=2, b=1)]
+        bad = good + [t(a=1, b=2)]
+        assert fds.satisfied_by(good)
+        assert not fds.satisfied_by(bad)
+        assert fds.violations(bad) == [FunctionalDependency("a", "b")]
+
+    def test_restrict_projects_entailed_fds(self):
+        fds = FDSet(["a -> b", "b -> c"])
+        projected = fds.restrict("a, c")
+        assert projected.entails("a", "c")
+        assert not projected.entails("c", "a")
+
+    def test_equivalent_to(self):
+        assert FDSet(["a -> b", "b -> c"]).equivalent_to(FDSet(["a -> b, c", "b -> c"]))
+        assert not FDSet(["a -> b"]).equivalent_to(FDSet(["b -> a"]))
+
+    def test_parse_semicolon_separated(self):
+        fds = FDSet.parse("a -> b; b -> c")
+        assert len(fds) == 2
+
+    def test_deduplication_and_equality(self):
+        assert FDSet(["a -> b", "a -> b"]) == FDSet(["a -> b"])
+        assert len(FDSet(["a -> b", "a -> b"])) == 1

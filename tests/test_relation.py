@@ -1,0 +1,94 @@
+"""Relational algebra on the immutable Relation class."""
+
+import pytest
+
+from repro.core import Relation, t
+from repro.core.errors import SpecificationError, TupleError
+
+
+@pytest.fixture
+def r() -> Relation:
+    return Relation.from_dicts(
+        "ns, pid",
+        [{"ns": 1, "pid": 1}, {"ns": 1, "pid": 2}, {"ns": 2, "pid": 1}],
+    )
+
+
+class TestConstruction:
+    def test_tuples_must_match_columns(self):
+        with pytest.raises(TupleError):
+            Relation("a, b", [t(a=1)])
+
+    def test_empty(self):
+        assert Relation.empty("a").is_empty()
+
+    def test_equality_ignores_tuple_order(self):
+        r1 = Relation("a", [t(a=1), t(a=2)])
+        r2 = Relation("a", [t(a=2), t(a=1)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+
+class TestSetOperations:
+    def test_union_intersection_difference(self, r):
+        other = Relation("ns, pid", [t(ns=1, pid=1), t(ns=9, pid=9)])
+        assert len(r | other) == 4
+        assert (r & other).tuples == frozenset({t(ns=1, pid=1)})
+        assert len(r - other) == 2
+        assert len(r ^ other) == 3
+
+    def test_set_operations_require_same_columns(self, r):
+        with pytest.raises(SpecificationError):
+            r.union(Relation("a", [t(a=1)]))
+
+
+class TestAlgebra:
+    def test_project(self, r):
+        assert r.project("ns") == Relation("ns", [t(ns=1), t(ns=2)])
+
+    def test_project_unknown_column(self, r):
+        with pytest.raises(SpecificationError):
+            r.project("missing")
+
+    def test_select(self, r):
+        assert r.select(t(ns=1)) == Relation("ns, pid", [t(ns=1, pid=1), t(ns=1, pid=2)])
+
+    def test_query_is_select_then_project(self, r):
+        assert r.query(t(ns=1), "pid") == Relation("pid", [t(pid=1), t(pid=2)])
+
+    def test_natural_join(self):
+        left = Relation("a, b", [t(a=1, b=1), t(a=2, b=2)])
+        right = Relation("b, c", [t(b=1, c=10), t(b=1, c=11), t(b=3, c=12)])
+        joined = left @ right
+        assert joined.columns == frozenset({"a", "b", "c"})
+        assert joined.tuples == frozenset({t(a=1, b=1, c=10), t(a=1, b=1, c=11)})
+
+    def test_join_with_no_common_columns_is_product(self):
+        left = Relation("a", [t(a=1), t(a=2)])
+        right = Relation("b", [t(b=3)])
+        assert len(left @ right) == 2
+
+    def test_rename(self, r):
+        renamed = r.rename({"ns": "namespace"})
+        assert renamed.columns == frozenset({"namespace", "pid"})
+        with pytest.raises(SpecificationError):
+            r.rename({"nope": "x"})
+        with pytest.raises(SpecificationError):
+            r.rename({"ns": "pid"})
+
+
+class TestMutationHelpers:
+    def test_insert_remove_update(self, r):
+        grown = r.insert(t(ns=3, pid=3))
+        assert len(grown) == 4 and len(r) == 3
+        shrunk = grown.remove(t(ns=1))
+        assert shrunk.tuples == frozenset({t(ns=2, pid=1), t(ns=3, pid=3)})
+        bumped = r.update(t(ns=1), t(pid=9))
+        assert bumped.tuples == frozenset({t(ns=1, pid=9), t(ns=2, pid=1)})
+
+    def test_satisfies(self, r):
+        from repro.core import FDSet
+
+        assert r.satisfies(None)
+        assert r.satisfies(FDSet(["ns, pid -> ns"]))
+        assert not r.satisfies(FDSet(["ns -> pid"]))

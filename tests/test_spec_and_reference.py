@@ -1,0 +1,112 @@
+"""RelationSpec validation and the reference implementation's five operations."""
+
+import pytest
+
+from repro.core import ReferenceRelation, Relation, RelationSpec, t
+from repro.core.errors import (
+    FunctionalDependencyError,
+    OperationError,
+    SpecificationError,
+    TupleError,
+)
+
+
+class TestRelationSpec:
+    def test_requires_columns(self):
+        with pytest.raises(SpecificationError):
+            RelationSpec([])
+
+    def test_fds_must_mention_spec_columns(self):
+        with pytest.raises(SpecificationError):
+            RelationSpec("a, b", fds=["a -> zz"])
+
+    def test_is_key_and_minimal_keys(self, scheduler_spec):
+        assert scheduler_spec.is_key("ns, pid")
+        assert scheduler_spec.is_key("ns, pid, state")
+        assert not scheduler_spec.is_key("ns")
+        assert scheduler_spec.minimal_keys() == [frozenset({"ns", "pid"})]
+
+    def test_check_full_tuple(self, scheduler_spec):
+        with pytest.raises(TupleError):
+            scheduler_spec.check_full_tuple(t(ns=1, pid=2))
+        with pytest.raises(TupleError):
+            scheduler_spec.check_full_tuple(t(ns=1, pid=2, state="R", cpu=0, extra=1))
+        scheduler_spec.check_full_tuple(t(ns=1, pid=2, state="R", cpu=0))
+
+    def test_check_partial_tuple(self, scheduler_spec):
+        with pytest.raises(TupleError):
+            scheduler_spec.check_partial_tuple(t(bogus=1))
+        scheduler_spec.check_partial_tuple(t(ns=1))
+
+    def test_check_relation_rejects_fd_violations(self, scheduler_spec):
+        bad = Relation(
+            scheduler_spec.columns,
+            [t(ns=1, pid=1, state="R", cpu=0), t(ns=1, pid=1, state="S", cpu=0)],
+        )
+        with pytest.raises(FunctionalDependencyError):
+            scheduler_spec.check_relation(bad)
+
+
+class TestReferenceRelation:
+    @pytest.fixture
+    def ref(self, scheduler_spec) -> ReferenceRelation:
+        ref = ReferenceRelation(scheduler_spec)
+        ref.insert(t(ns=1, pid=1, state="R", cpu=0))
+        ref.insert(t(ns=1, pid=2, state="S", cpu=1))
+        ref.insert(t(ns=2, pid=1, state="R", cpu=1))
+        return ref
+
+    def test_insert_is_idempotent(self, ref):
+        ref.insert(t(ns=1, pid=1, state="R", cpu=0))
+        assert len(ref) == 3
+
+    def test_insert_enforces_fds(self, ref):
+        with pytest.raises(FunctionalDependencyError):
+            ref.insert(t(ns=1, pid=1, state="X", cpu=9))
+
+    def test_query_projects_and_deduplicates(self, ref):
+        states = ref.query(None, "state")
+        assert sorted(s["state"] for s in states) == ["R", "S"]
+
+    def test_query_with_pattern(self, ref):
+        assert ref.query({"state": "R"}, "ns, pid") == ref.query(t(state="R"), ["ns", "pid"])
+        assert len(ref.query({"state": "R"})) == 2
+
+    def test_remove_by_pattern(self, ref):
+        ref.remove({"ns": 1})
+        assert ref.to_relation() == Relation(
+            ref.spec.columns, [t(ns=2, pid=1, state="R", cpu=1)]
+        )
+
+    def test_remove_all(self, ref):
+        ref.remove()
+        assert len(ref) == 0
+
+    def test_update(self, ref):
+        ref.update({"ns": 1, "pid": 2}, {"state": "R", "cpu": 0})
+        assert ref.query({"ns": 1, "pid": 2}, "state")[0]["state"] == "R"
+
+    def test_update_enforces_fds(self, ref):
+        # Collapsing both ns=1 processes onto pid=1 would violate ns,pid -> state,cpu.
+        with pytest.raises(FunctionalDependencyError):
+            ref.update({"ns": 1}, {"pid": 1})
+
+    def test_contains_and_iteration(self, ref):
+        assert t(ns=1, pid=1) in ref
+        assert t(ns=9, pid=9) not in ref
+        assert len(list(iter(ref))) == 3
+
+    def test_unique_match(self, ref):
+        assert ref.unique_match({"ns": 1, "pid": 2})["cpu"] == 1
+        assert ref.unique_match({"ns": 9}) is None
+        with pytest.raises(OperationError):
+            ref.unique_match({"state": "R"})
+
+    def test_load_checks_spec(self, ref, scheduler_spec):
+        with pytest.raises(FunctionalDependencyError):
+            ref.load(
+                Relation(
+                    scheduler_spec.columns,
+                    [t(ns=1, pid=1, state="R", cpu=0), t(ns=1, pid=1, state="S", cpu=1)],
+                )
+            )
