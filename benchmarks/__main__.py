@@ -1,0 +1,6 @@
+"""``python -m benchmarks`` entry point."""
+
+from .harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

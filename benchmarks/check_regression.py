@@ -1,0 +1,104 @@
+"""Fail CI when benchmark numbers regress more than 2x against the baseline.
+
+The comparison is driven by the
+:class:`~repro.structures.base.OperationCounter` access counts: they depend
+only on the code and the seeded traces, not on the machine, so a >2x
+increase is a genuine algorithmic regression (a plan gone bad, an index no
+longer used, pruning lost) rather than CI noise.  Run the harness with
+``PYTHONHASHSEED=0`` (as CI does) to make the counts bit-exact; otherwise
+hash-table chain layouts introduce ~1% jitter, far inside the 2x headroom.
+Timing-derived speedups are printed for context and checked only loosely
+(the compiled tier must stay faster than the interpreted tier) because
+wall-clock on shared CI runners is unreliable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_2.json benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Fail when accesses exceed baseline by more than this factor.
+MAX_ACCESS_REGRESSION = 2.0
+
+
+def compare(current: dict, baseline: dict) -> list:
+    """Return a list of human-readable failures (empty when healthy)."""
+    failures = []
+    for name, base_data in sorted(baseline.get("workloads", {}).items()):
+        cur_data = current.get("workloads", {}).get(name)
+        if cur_data is None:
+            failures.append(f"{name}: workload missing from current results")
+            continue
+        for tier, base_tier in sorted(base_data.get("tiers", {}).items()):
+            cur_tier = cur_data.get("tiers", {}).get(tier)
+            if cur_tier is None:
+                failures.append(f"{name}/{tier}: tier missing from current results")
+                continue
+            base_accesses = base_tier.get("accesses", 0)
+            cur_accesses = cur_tier.get("accesses", 0)
+            if base_accesses and cur_accesses > base_accesses * MAX_ACCESS_REGRESSION:
+                failures.append(
+                    f"{name}/{tier}: {cur_accesses:,d} accesses vs baseline "
+                    f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
+                )
+        speedup = cur_data.get("speedup_compiled_vs_interpreted")
+        if speedup is not None and speedup < 1.0:
+            failures.append(
+                f"{name}: compiled tier ({speedup}x) is slower than the interpreted tier"
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        current = json.load(handle)
+    with open(argv[2]) as handle:
+        baseline = json.load(handle)
+
+    current_mode = current.get("meta", {}).get("mode")
+    baseline_mode = baseline.get("meta", {}).get("mode")
+    if current_mode != baseline_mode:
+        print(
+            f"mode mismatch: current results are {current_mode!r} but the baseline "
+            f"is {baseline_mode!r} — trace sizes differ, access counts are not "
+            f"comparable (re-run the harness with matching --quick settings)",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"{'workload':<12} {'tier':<12} {'accesses':>14} {'baseline':>14} {'ratio':>7}")
+    for name, base_data in sorted(baseline.get("workloads", {}).items()):
+        cur_data = current.get("workloads", {}).get(name, {})
+        for tier, base_tier in sorted(base_data.get("tiers", {}).items()):
+            cur_tier = cur_data.get("tiers", {}).get(tier, {})
+            base_accesses = base_tier.get("accesses", 0)
+            cur_accesses = cur_tier.get("accesses", 0)
+            if base_accesses:
+                ratio = f"{cur_accesses / base_accesses:>6.2f}x"
+            else:
+                ratio = "     —"
+            print(
+                f"{name:<12} {tier:<12} {cur_accesses:>14,d} {base_accesses:>14,d} {ratio}"
+            )
+        speedup = cur_data.get("speedup_compiled_vs_interpreted")
+        print(f"{name:<12} compiled-vs-interpreted speedup: {speedup}x")
+
+    failures = compare(current, baseline)
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions (>2x) against the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

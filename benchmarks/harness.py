@@ -1,0 +1,177 @@
+"""Drive the reference / interpreted / compiled tiers through identical traces.
+
+For each workload the harness builds one fresh relation per tier, replays
+the same operation trace, and records:
+
+* wall-clock seconds and operations/second (``time.perf_counter``);
+* deterministic container accesses from a second, instrumented replay under
+  :data:`repro.structures.base.COUNTER` (machine-independent — this is what
+  the CI regression check compares);
+* the final relation, asserted identical across tiers (a coarse soundness
+  check riding along with every benchmark run).
+
+Results are written as JSON (``BENCH_2.json`` by convention at the repo
+root); ``benchmarks/baseline.json`` holds the checked-in baseline used by
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.codegen import compile_relation
+from repro.core import ReferenceRelation
+from repro.core.interface import RelationInterface
+from repro.decomposition import DecomposedRelation
+from repro.structures import COUNTER
+
+from .workloads import Workload, build_workloads
+
+__all__ = ["main", "run_all", "run_workload", "replay"]
+
+TIERS = ("reference", "interpreted", "compiled")
+
+
+def make_tier(tier: str, workload: Workload) -> RelationInterface:
+    if tier == "reference":
+        return ReferenceRelation(workload.spec)
+    if tier == "interpreted":
+        return DecomposedRelation(workload.spec, workload.layout)
+    if tier == "compiled":
+        cls = compile_relation(workload.spec, workload.layout)
+        return cls()
+    raise ValueError(f"unknown tier {tier!r}")
+
+
+def replay(relation: RelationInterface, trace: List[tuple]) -> int:
+    """Apply every operation of *trace* to *relation*; returns the op count."""
+    insert = relation.insert
+    remove = relation.remove
+    update = relation.update
+    query = relation.query
+    for op in trace:
+        kind = op[0]
+        if kind == "insert":
+            insert(op[1])
+        elif kind == "remove":
+            remove(op[1])
+        elif kind == "update":
+            update(op[1], op[2])
+        elif kind == "query":
+            query(op[1], op[2])
+        else:  # pragma: no cover - trace generator bug
+            raise ValueError(f"unknown operation {kind!r}")
+    return len(trace)
+
+
+def run_workload(workload: Workload, verbose: bool = True) -> Dict:
+    """Benchmark every tier on *workload*; verify the tiers agree."""
+    results: Dict[str, Dict] = {}
+    final = None
+    for tier in TIERS:
+        relation = make_tier(tier, workload)
+        started = time.perf_counter()
+        ops = replay(relation, workload.trace)
+        seconds = time.perf_counter() - started
+
+        outcome = relation.to_relation()
+        if final is None:
+            final = outcome
+        elif outcome != final:
+            raise AssertionError(
+                f"tier {tier!r} diverged from the reference on workload "
+                f"{workload.name!r}: {len(outcome.tuples ^ final.tuples)} differing tuple(s)"
+            )
+
+        # Second, instrumented replay on a fresh instance: COUNTER numbers
+        # are deterministic and machine-independent, unlike the timings.
+        instrumented = make_tier(tier, workload)
+        with COUNTER:
+            replay(instrumented, workload.trace)
+            accesses = COUNTER.accesses
+        results[tier] = {
+            "seconds": round(seconds, 6),
+            "ops": ops,
+            "ops_per_sec": round(ops / seconds, 1) if seconds else float("inf"),
+            "accesses": accesses,
+        }
+        if verbose:
+            print(
+                f"  {tier:12s} {results[tier]['ops_per_sec']:>12,.0f} ops/s"
+                f"  {accesses:>12,d} accesses  ({seconds:.3f}s)",
+                file=sys.stderr,
+            )
+    interp = results["interpreted"]["seconds"]
+    compiled = results["compiled"]["seconds"]
+    return {
+        "description": workload.description,
+        "layout": workload.layout,
+        "ops": len(workload.trace),
+        "final_size": len(final.tuples),
+        "tiers": results,
+        "speedup_compiled_vs_interpreted": round(interp / compiled, 2) if compiled else None,
+        "speedup_compiled_vs_reference": round(
+            results["reference"]["seconds"] / compiled, 2
+        )
+        if compiled
+        else None,
+    }
+
+
+def run_all(
+    quick: bool = False, names: Optional[List[str]] = None, verbose: bool = True
+) -> Dict:
+    workloads = build_workloads(quick=quick, names=names)
+    report: Dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "mode": "quick" if quick else "default",
+        },
+        "workloads": {},
+    }
+    for workload in workloads:
+        if verbose:
+            print(f"{workload.name}: {len(workload.trace)} ops", file=sys.stderr)
+        report["workloads"][workload.name] = run_workload(workload, verbose=verbose)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="Benchmark the reference/interpreted/compiled representation tiers.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small traces (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_2.json", help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="subset of workloads to run (default: all)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    report = run_all(quick=args.quick, names=args.workloads, verbose=not args.quiet)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if not args.quiet:
+        for name, data in sorted(report["workloads"].items()):
+            print(
+                f"{name}: compiled is {data['speedup_compiled_vs_interpreted']}x the "
+                f"interpreted tier ({data['ops']} ops)",
+                file=sys.stderr,
+            )
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0

@@ -1,0 +1,200 @@
+"""Deterministic operation traces in the spirit of the paper's Section 6.
+
+Each workload is a relational specification, a decomposition, and a seeded
+trace of the five relational operations.  Traces are generated once and
+replayed identically against every tier, so timings and operation counts
+are directly comparable; all traces are FD-respecting so they run with
+enforcement on (the benchmarked configuration) without raising.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple as PyTuple
+
+from repro.core import RelationSpec, Tuple
+
+__all__ = ["Operation", "Workload", "WORKLOADS", "build_workloads"]
+
+#: ("insert", tuple) | ("remove", pattern) | ("update", pattern, changes)
+#: | ("query", pattern, output-or-None)
+Operation = PyTuple
+
+
+class Workload:
+    """A named spec + decomposition + seeded operation trace."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        spec: RelationSpec,
+        layout: str,
+        trace: List[Operation],
+    ):
+        self.name = name
+        self.description = description
+        self.spec = spec
+        self.layout = layout
+        self.trace = trace
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.trace)} ops)"
+
+
+def scheduler(scale: int) -> Workload:
+    """The paper's running example: an OS process scheduler.
+
+    Processes keyed by ``(ns, pid)`` with a per-state index; the trace mixes
+    process creation/exit, context switches (state/cpu updates by primary
+    key), primary-key queries and per-state queue scans.
+    """
+    spec = RelationSpec(
+        "ns, pid, state, cpu",
+        fds=["ns, pid -> state, cpu"],
+        name="process",
+    )
+    layout = (
+        "[ns -> htable pid -> btree {state, cpu}"
+        " ; state -> htable (ns, pid -> dlist {cpu})]"
+    )
+    rng = random.Random(0x5EED0)
+    states = ["running", "sleeping", "waiting"]
+    processes = [(ns, pid) for ns in range(max(2, scale // 50)) for pid in range(50)]
+    trace: List[Operation] = [
+        ("insert", Tuple(ns=ns, pid=pid, state=rng.choice(states), cpu=rng.randrange(4)))
+        for ns, pid in processes
+    ]
+    for _ in range(scale * 10):
+        ns, pid = rng.choice(processes)
+        roll = rng.random()
+        if roll < 0.35:
+            trace.append(("query", Tuple(ns=ns, pid=pid), "state, cpu"))
+        elif roll < 0.55:
+            trace.append(("query", Tuple(state=rng.choice(states)), "ns, pid"))
+        elif roll < 0.85:
+            trace.append(
+                (
+                    "update",
+                    Tuple(ns=ns, pid=pid),
+                    Tuple(state=rng.choice(states), cpu=rng.randrange(4)),
+                )
+            )
+        else:  # Process exit and re-spawn.
+            trace.append(("remove", Tuple(ns=ns, pid=pid)))
+            trace.append(
+                ("insert", Tuple(ns=ns, pid=pid, state="running", cpu=rng.randrange(4)))
+            )
+    return Workload(
+        "scheduler",
+        "process scheduler: pk index + per-state lists (paper §1/§6)",
+        spec,
+        layout,
+        trace,
+    )
+
+
+def directed_graph(scale: int) -> Workload:
+    """A weighted directed graph with successor and predecessor indexes.
+
+    Edges ``(src, dst, weight)`` with both adjacency directions indexed —
+    the shape used by the paper's graph benchmarks (DFS, shortest paths).
+    The trace mixes edge insertion/removal, weight relaxation by edge key,
+    and out-/in-neighbour queries.
+    """
+    spec = RelationSpec(
+        "src, dst, weight",
+        fds=["src, dst -> weight"],
+        name="edge",
+    )
+    layout = "[src -> htable (dst -> htable {weight}) ; dst -> htable (src -> htable {weight})]"
+    rng = random.Random(0x5EED1)
+    nodes = max(8, scale // 4)
+    edges = [
+        (rng.randrange(nodes), rng.randrange(nodes)) for _ in range(max(16, scale * 2))
+    ]
+    edges = sorted(set(edges))
+    trace: List[Operation] = [
+        ("insert", Tuple(src=s, dst=d, weight=rng.randrange(100))) for s, d in edges
+    ]
+    for _ in range(scale * 8):
+        roll = rng.random()
+        src, dst = rng.choice(edges)
+        if roll < 0.35:
+            trace.append(("query", Tuple(src=src), "dst, weight"))
+        elif roll < 0.55:
+            trace.append(("query", Tuple(dst=dst), "src, weight"))
+        elif roll < 0.75:
+            trace.append(("update", Tuple(src=src, dst=dst), Tuple(weight=rng.randrange(100))))
+        elif roll < 0.9:
+            trace.append(("query", Tuple(src=src, dst=dst), "weight"))
+        else:
+            trace.append(("remove", Tuple(src=src, dst=dst)))
+            trace.append(("insert", Tuple(src=src, dst=dst, weight=rng.randrange(100))))
+    return Workload(
+        "graph",
+        "directed graph: successor + predecessor adjacency (paper §6 graph benchmarks)",
+        spec,
+        layout,
+        trace,
+    )
+
+
+def spanning(scale: int) -> Workload:
+    """Spanning-forest components, Kruskal-style union by bulk update.
+
+    Nodes carry a component id (``node -> comp``) with a per-component
+    index; merging two components is a single pattern update
+    ``update {comp: a} {comp: b}`` over the component index — the bulk
+    operation that stresses pattern-resolved updates in every tier.
+    """
+    spec = RelationSpec("node, comp", fds=["node -> comp"], name="component")
+    layout = "[node -> htable {comp} ; comp -> htable (node -> dlist {})]"
+    rng = random.Random(0x5EED2)
+    nodes = max(16, scale)
+    trace: List[Operation] = [
+        ("insert", Tuple(node=n, comp=n)) for n in range(nodes)
+    ]
+    live = list(range(nodes))
+    for _ in range(scale * 4):
+        roll = rng.random()
+        if roll < 0.35 and len(live) > 1:
+            a, b = rng.sample(live, 2)
+            trace.append(("update", Tuple(comp=a), Tuple(comp=b)))
+            live.remove(a)
+        elif roll < 0.7:
+            trace.append(("query", Tuple(node=rng.randrange(nodes)), "comp"))
+        else:
+            trace.append(("query", Tuple(comp=rng.choice(live)), "node"))
+        if len(live) <= max(2, nodes // 8):
+            # Reset the forest so unions keep happening at scale.
+            trace.append(("remove", None))
+            trace.extend(("insert", Tuple(node=n, comp=n)) for n in range(nodes))
+            live = list(range(nodes))
+    return Workload(
+        "spanning",
+        "spanning-forest components: union via bulk pattern update",
+        spec,
+        layout,
+        trace,
+    )
+
+
+WORKLOADS: Dict[str, Callable[[int], Workload]] = {
+    "scheduler": scheduler,
+    "graph": directed_graph,
+    "spanning": spanning,
+}
+
+#: Default scale knobs: ``--quick`` must stay CI-smoke-test fast.
+DEFAULT_SCALE = 400
+QUICK_SCALE = 60
+
+
+def build_workloads(quick: bool = False, names: List[str] = None) -> List[Workload]:
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    selected = names or sorted(WORKLOADS)
+    unknown = sorted(set(selected) - set(WORKLOADS))
+    if unknown:
+        raise ValueError(f"unknown workloads {unknown}; available: {sorted(WORKLOADS)}")
+    return [WORKLOADS[name](scale) for name in selected]

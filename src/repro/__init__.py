@@ -9,7 +9,9 @@ The library is layered like the paper:
   abstraction function α, query plans, and the decomposed implementation
   of the relational interface (Sections 3–4);
 * :mod:`repro.structures` — the primitive container library backing map
-  edges (Section 6).
+  edges (Section 6);
+* :mod:`repro.codegen` — the performance tier: compile a decomposition
+  into a standalone specialised class (the paper's code generator).
 
 The most common entry points are re-exported here::
 
@@ -20,6 +22,7 @@ The most common entry points are re-exported here::
     processes.insert(t(ns=1, pid=42, state="running", cpu=0))
 """
 
+from .codegen import compile_relation, generate_source
 from .core import (
     FDSet,
     FunctionalDependency,
@@ -51,6 +54,8 @@ __all__ = [
     "RelationSpec",
     "Tuple",
     "check_adequacy",
+    "compile_relation",
+    "generate_source",
     "is_adequate",
     "parse_decomposition",
     "t",

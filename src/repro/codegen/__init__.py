@@ -1,0 +1,32 @@
+"""The compiled representation tier (the paper's code generator, in Python).
+
+RELC's headline result is that *synthesized* representations are compiled —
+the C++ generator emits specialised member functions for each decomposition.
+This package is the reproduction's equivalent on top of the Python stack:
+
+* :func:`generate_source` — emit the source of a standalone relation class
+  specialised to one ``(RelationSpec, Decomposition)`` pair: unrolled
+  insert/remove paths over plain dicts/lists, and per-pattern query methods
+  generated from query plans behind a compile-time dispatch table;
+* :func:`compile_relation` — generate, ``exec`` and return the class, ready
+  to instantiate and use interchangeably with
+  :class:`~repro.core.reference.ReferenceRelation` and
+  :class:`~repro.decomposition.relation.DecomposedRelation`.
+
+The three tiers trade generality for speed:
+
+=============  ==================================  =========================
+Tier           Implementation                      Cost per operation
+=============  ==================================  =========================
+reference      set of tuples, defining equations   O(n) scans everywhere
+interpreted    ``DecomposedRelation``              plan cache + DAG walking
+compiled       ``compile_relation(spec, d)()``     straight-line specialised
+=============  ==================================  =========================
+
+``benchmarks/`` drives all three through identical traces and records the
+resulting throughput and operation counts in ``BENCH_2.json``.
+"""
+
+from .compiler import MAX_ENUMERATED_COLUMNS, compile_relation, generate_source
+
+__all__ = ["MAX_ENUMERATED_COLUMNS", "compile_relation", "generate_source"]

@@ -1,0 +1,897 @@
+"""Compile a ``(RelationSpec, Decomposition)`` pair into a standalone class.
+
+This is the reproduction's counterpart of RELC's C++ code generator: where
+:class:`~repro.decomposition.relation.DecomposedRelation` *interprets* a
+decomposition — re-walking ``node.edges``, projecting :class:`Tuple` keys and
+re-ranking query plans at run time — the compiler emits a Python class whose
+methods are straight-line code specialised to one decomposition:
+
+* **insert/remove** are unrolled over the decomposition DAG: each edge
+  becomes a few lines of direct ``dict``/list access on pre-bound key
+  values, with empty sub-instances pruned inline;
+* **queries** are generated per pattern column set from the query plans of
+  :func:`repro.decomposition.plan.plan_query` and selected through a
+  dispatch table built at compile time — no planning, no plan cache and no
+  plan interpretation on the hot path;
+* rows are plain value tuples in sorted column order; :class:`Tuple`
+  objects are only materialised at the public ``query``/``to_relation``
+  boundary via the trusted :meth:`Tuple.from_sorted_items` fast path.
+
+Containers are lowered according to each structure's ``CODEGEN_STRATEGY``:
+hash-like structures become Python dicts charged one access per probe,
+tree-like structures become dicts charged ``log2(n)`` accesses (the cost
+model of a balanced tree), and list-like structures become real entry lists
+with linear search — so compiled list layouts keep honest asymptotics and
+:class:`~repro.structures.base.OperationCounter` numbers remain comparable
+across the interpreted and compiled tiers.
+
+The generated source is self-contained: it imports only stable ``repro``
+entry points, reconstructs its specification literally, and can be written
+to disk and inspected (``compile_relation`` attaches it as ``__source__``).
+"""
+
+from __future__ import annotations
+
+import re
+from itertools import count as _count_from
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Union
+
+from ..core.spec import RelationSpec
+from ..decomposition.adequacy import check_adequacy
+from ..decomposition.model import Decomposition, DecompNode, MapEdge, Path
+from ..decomposition.parser import parse_decomposition
+from ..decomposition.plan import LookupStep, PlanStep, ScanStep, plan_query
+from .emitter import Emitter
+
+__all__ = ["MAX_ENUMERATED_COLUMNS", "compile_relation", "generate_source"]
+
+#: Specialised query methods are generated for *every* subset of the
+#: specification columns up to this width (2**6 = 64 methods).  Wider
+#: schemas get methods for the essential subsets (empty pattern, full
+#: pattern, FD left-hand sides, per-path key prefixes) plus a scanning
+#: fallback, keeping generated-code size linear in the schema.
+MAX_ENUMERATED_COLUMNS = 6
+
+_generated_modules = _count_from()
+
+
+def _strategy(edge: MapEdge) -> str:
+    return getattr(edge.structure_class(), "CODEGEN_STRATEGY", "hash")
+
+
+def _default_class_name(decomposition_name: str) -> str:
+    sanitized = re.sub(r"\W+", "_", decomposition_name).strip("_") or "relation"
+    return "Compiled_" + sanitized
+
+
+class _RelationCompiler:
+    """Single-use compiler from one (spec, decomposition) pair to source."""
+
+    def __init__(self, spec: RelationSpec, decomposition: Decomposition, class_name: str):
+        check_adequacy(decomposition, spec)
+        self.spec = spec
+        self.decomposition = decomposition
+        self.class_name = class_name
+        self.cols = tuple(sorted(spec.columns))
+        self.col_index = {c: i for i, c in enumerate(self.cols)}
+        self.paths: List[Path] = decomposition.paths()
+        self.em = Emitter()
+        self._symbols = 0
+
+    # -- small expression helpers ----------------------------------------------
+
+    def _gensym(self, prefix: str) -> str:
+        self._symbols += 1
+        return f"{prefix}{self._symbols}"
+
+    def _reset_symbols(self) -> None:
+        self._symbols = 0
+
+    def _vexpr(self, col: str) -> str:
+        """The local variable holding *col*'s value in row-bound methods."""
+        return f"v{self.col_index[col]}"
+
+    def _row_unpack(self) -> str:
+        names = ", ".join(self._vexpr(c) for c in self.cols)
+        return names if len(self.cols) > 1 else names + ","
+
+    @staticmethod
+    def _tuple_literal(parts: Sequence[str]) -> str:
+        """A tuple display that stays a tuple for a single element."""
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+
+    def _key_expr(self, edge: MapEdge, val: Callable[[str], str]) -> str:
+        key_cols = sorted(edge.key)
+        if len(key_cols) == 1:
+            return val(key_cols[0])
+        return "(" + ", ".join(val(c) for c in key_cols) + ")"
+
+    def _residual_expr(self, leaf: DecompNode, val: Callable[[str], str]) -> str:
+        unit_cols = sorted(leaf.unit_columns)
+        if not unit_cols:
+            return "True"
+        if len(unit_cols) == 1:
+            return val(unit_cols[0])
+        return "(" + ", ".join(val(c) for c in unit_cols) + ")"
+
+    def _container_expr(self, node: DecompNode, inst_expr: str, edge_index: int) -> str:
+        if len(node.edges) == 1:
+            return inst_expr
+        return f"{inst_expr}[{edge_index}]"
+
+    def _node_literal(self, node: DecompNode) -> str:
+        parts = ["[]" if _strategy(e) == "list" else "{}" for e in node.edges]
+        if len(parts) == 1:
+            return parts[0]
+        return "[" + ", ".join(parts) + "]"
+
+    def _emptiness_expr(self, node: DecompNode, inst_expr: str) -> str:
+        if len(node.edges) == 1:
+            return f"not {inst_expr}"
+        alive = " or ".join(f"{inst_expr}[{i}]" for i in range(len(node.edges)))
+        return f"not ({alive})"
+
+    def _emit_access_count(self, edge: MapEdge, cexpr: str, scan: bool = False) -> None:
+        strategy = _strategy(edge)
+        if scan:
+            self.em.line(f"if en: _C.accesses += len({cexpr})")
+        elif strategy == "tree":
+            self.em.line(f"if en: _C.accesses += max(1, len({cexpr}).bit_length())")
+        elif strategy != "list":  # list probes are counted inside the helpers
+            self.em.line("if en: _C.accesses += 1")
+
+    def _emit_get(self, edge: MapEdge, target: str, cexpr: str, kexpr: str) -> None:
+        # _MISS (not None) is the missing-entry sentinel throughout: None is
+        # a legal stored value, so a unit residual of None must stay
+        # distinguishable from an absent entry.
+        self._emit_access_count(edge, cexpr)
+        if _strategy(edge) == "list":
+            self.em.line(f"{target} = _l_get({cexpr}, {kexpr})")
+        else:
+            self.em.line(f"{target} = {cexpr}.get({kexpr}, _MISS)")
+
+    def _residual_condition(self, leaf: DecompNode, uvar: str, val: Callable[[str], str]) -> str:
+        if not leaf.unit_columns:
+            return f"{uvar} is True"
+        return f"{uvar} == {self._residual_expr(leaf, val)}"
+
+    # -- pattern subsets / dispatch ---------------------------------------------
+
+    def _mask(self, subset: FrozenSet[str]) -> int:
+        return sum(1 << self.col_index[c] for c in subset)
+
+    def _pattern_subsets(self) -> List[FrozenSet[str]]:
+        if len(self.cols) <= MAX_ENUMERATED_COLUMNS:
+            return [
+                frozenset(c for i, c in enumerate(self.cols) if mask >> i & 1)
+                for mask in range(2 ** len(self.cols))
+            ]
+        subsets = {frozenset(), frozenset(self.cols)}
+        for fd in self.spec.fds:
+            subsets.add(frozenset(fd.lhs))
+        for path in self.paths:
+            bound: set = set()
+            for e in path.edges:
+                bound |= e.key
+                subsets.add(frozenset(bound))
+        return sorted(subsets, key=self._mask)
+
+    # -- plan-shaped row generators ---------------------------------------------
+
+    def _emit_plan_rows(
+        self, path: Path, steps: Sequence[PlanStep], pattern_cols: FrozenSet[str]
+    ) -> None:
+        """Emit the body of a row generator walking *path* with *steps*.
+
+        The emitted code yields plain rows (value tuples in sorted column
+        order).  Lookup steps descend through one container entry; scan
+        steps open a loop and filter entries against the pattern; the
+        residual pattern columns are compared at the leaf.
+        """
+        em = self.em
+        em.line("en = _C.enabled")
+        pvars: Dict[str, str] = {}
+        for col in sorted(pattern_cols):
+            var = f"p{self.col_index[col]}"
+            em.line(f"{var} = p[{col!r}]")
+            pvars[col] = var
+        exprs: Dict[str, str] = dict(pvars)
+        opened_loops = 0
+        node = self.decomposition.root
+        current = "self._root"
+
+        if not path.edges:
+            uvar = self._gensym("u")
+            em.line(f"{uvar} = self._root")
+            em.line(f"if {uvar} is _MISS:")
+            with em.indent():
+                em.line("return")
+            current = uvar
+
+        for step in steps:
+            e = step.edge
+            cvar = self._gensym("c")
+            em.line(f"{cvar} = {self._container_expr(node, current, step.edge_index)}")
+            if isinstance(step, LookupStep):
+                kexpr = self._key_expr(e, lambda c: pvars[c])
+                nvar = self._gensym("n")
+                self._emit_get(e, nvar, cvar, kexpr)
+                em.line(f"if {nvar} is _MISS:")
+                with em.indent():
+                    em.line("continue" if opened_loops else "return")
+                for kc in e.key:
+                    exprs[kc] = pvars[kc]
+            else:
+                self._emit_access_count(e, cvar, scan=True)
+                kvar = self._gensym("k")
+                nvar = self._gensym("n")
+                if _strategy(e) == "list":
+                    entry = self._gensym("t")
+                    em.line(f"for {entry} in {cvar}:")
+                    em.push()
+                    em.line(f"{kvar} = {entry}[0]")
+                    em.line(f"{nvar} = {entry}[1]")
+                else:
+                    em.line(f"for {kvar}, {nvar} in {cvar}.items():")
+                    em.push()
+                opened_loops += 1
+                key_cols = sorted(e.key)
+                for j, kc in enumerate(key_cols):
+                    exprs[kc] = kvar if len(key_cols) == 1 else f"{kvar}[{j}]"
+                for kc in key_cols:
+                    if kc in pattern_cols:
+                        em.line(f"if {exprs[kc]} != {pvars[kc]}:")
+                        with em.indent():
+                            em.line("continue")
+            node = e.child
+            current = nvar
+
+        unit_cols = sorted(path.leaf.unit_columns)
+        for j, uc in enumerate(unit_cols):
+            exprs[uc] = current if len(unit_cols) == 1 else f"{current}[{j}]"
+        for uc in unit_cols:
+            if uc in pattern_cols:
+                em.line(f"if {exprs[uc]} != {pvars[uc]}:")
+                with em.indent():
+                    em.line("continue" if opened_loops else "return")
+        em.line("yield " + self._tuple_literal([exprs[c] for c in self.cols]))
+        em.pop(opened_loops)
+
+    def _emit_query_method(self, subset: FrozenSet[str], plan) -> str:
+        name = f"_q_{self._mask(subset)}"
+        self._reset_symbols()
+        with self.em.block(f"def {name}(self, p):"):
+            pattern = "{" + ", ".join(sorted(subset)) + "}"
+            self.em.docstring(f"Pattern over {pattern}; plan: {plan.describe()}.")
+            self._emit_plan_rows(plan.path, plan.steps, subset)
+        self.em.line()
+        return name
+
+    def _emit_rows_path(self, index: int) -> None:
+        path = self.paths[index]
+        steps = [ScanStep(e, i) for e, i in zip(path.edges, path.edge_indices)]
+        self._reset_symbols()
+        with self.em.block(f"def _rows_path_{index}(self):"):
+            self.em.docstring(f"Scan every row via path {index}: {path.describe()}.")
+            self._emit_plan_rows(path, steps, frozenset())
+        self.em.line()
+
+    # -- straight-line walks for the mutators ------------------------------------
+
+    def _emit_presence_check(self, on_hit: Sequence[str]) -> None:
+        """Nested lookups along the primary path; *on_hit* runs when the
+        exact row is already stored."""
+        em = self.em
+        path = self.paths[0]
+        if not path.edges:
+            cond = self._residual_condition(path.leaf, "self._root", self._vexpr)
+            em.line(f"if {cond}:")
+            with em.indent():
+                for stmt in on_hit:
+                    em.line(stmt)
+            return
+        node = self.decomposition.root
+        current = "self._root"
+        opened = 0
+        for depth, (e, idx) in enumerate(zip(path.edges, path.edge_indices)):
+            cexpr = self._container_expr(node, current, idx)
+            kexpr = self._key_expr(e, self._vexpr)
+            nvar = self._gensym("n")
+            self._emit_get(e, nvar, cexpr, kexpr)
+            if depth == len(path.edges) - 1:
+                em.line(f"if {self._residual_condition(path.leaf, nvar, self._vexpr)}:")
+                with em.indent():
+                    for stmt in on_hit:
+                        em.line(stmt)
+            else:
+                em.line(f"if {nvar} is not _MISS:")
+                em.push()
+                opened += 1
+            node = e.child
+            current = nvar
+        em.pop(opened)
+
+    def _emit_conflict_scan(self) -> None:
+        """Collect rows sharing a unit binding with the new row but holding a
+        different residual (the structural FD conflicts) into ``_conf``."""
+        em = self.em
+        em.line("_conf = None")
+        for path in self.paths:
+            unit_cols = sorted(path.leaf.unit_columns)
+            if not unit_cols:
+                continue  # All columns bound: an equal binding is the row itself.
+            node = self.decomposition.root
+            current = "self._root"
+            opened = 0
+            for e, idx in zip(path.edges, path.edge_indices):
+                cexpr = self._container_expr(node, current, idx)
+                kexpr = self._key_expr(e, self._vexpr)
+                nvar = self._gensym("n")
+                self._emit_get(e, nvar, cexpr, kexpr)
+                em.line(f"if {nvar} is not _MISS:")
+                em.push()
+                opened += 1
+                node = e.child
+                current = nvar
+            residual = self._residual_expr(path.leaf, self._vexpr)
+            if opened:
+                # The last edge's guard ensures the leaf value is present.
+                em.line(f"if {current} != {residual}:")
+            else:  # Unit root: the instance itself may be empty (_MISS).
+                em.line(f"if {current} is not _MISS and {current} != {residual}:")
+            with em.indent():
+                em.line("if _conf is None:")
+                with em.indent():
+                    em.line("_conf = set()")
+                row = []
+                for c in self.cols:
+                    if c in path.bound:
+                        row.append(self._vexpr(c))
+                    else:
+                        j = unit_cols.index(c)
+                        row.append(current if len(unit_cols) == 1 else f"{current}[{j}]")
+                em.line("_conf.add(" + self._tuple_literal(row) + ")")
+            em.pop(opened)
+        em.line("if _conf:")
+        with em.indent():
+            em.line("for _r in _conf:")
+            with em.indent():
+                em.line("self._remove_row(_r)")
+
+    def _emit_store_walk(self, node: DecompNode, inst_expr: str) -> None:
+        em = self.em
+        if node.is_unit:  # Unit root: the instance is the residual itself.
+            em.line(f"self._root = {self._residual_expr(node, self._vexpr)}")
+            return
+        for idx, e in enumerate(node.edges):
+            cvar = self._gensym("c")
+            em.line(f"{cvar} = {self._container_expr(node, inst_expr, idx)}")
+            kexpr = self._key_expr(e, self._vexpr)
+            if e.child.is_unit:
+                residual = self._residual_expr(e.child, self._vexpr)
+                self._emit_access_count(e, cvar)
+                if _strategy(e) == "list":
+                    em.line(f"_l_put({cvar}, {kexpr}, {residual})")
+                else:
+                    em.line(f"{cvar}[{kexpr}] = {residual}")
+            else:
+                nvar = self._gensym("n")
+                self._emit_get(e, nvar, cvar, kexpr)
+                em.line(f"if {nvar} is _MISS:")
+                with em.indent():
+                    em.line(f"{nvar} = {self._node_literal(e.child)}")
+                    if _strategy(e) == "list":
+                        em.line(f"{cvar}.append([{kexpr}, {nvar}])")
+                    else:
+                        em.line(f"{cvar}[{kexpr}] = {nvar}")
+                self._emit_store_walk(e.child, nvar)
+
+    def _emit_remove_walk(self, node: DecompNode, inst_expr: str) -> None:
+        em = self.em
+        if node.is_unit:  # Unit root.
+            cond = self._residual_condition(node, "self._root", self._vexpr)
+            em.line(f"if {cond}:")
+            with em.indent():
+                em.line("self._root = _MISS")
+                em.line("removed = True")
+            return
+        for idx, e in enumerate(node.edges):
+            cvar = self._gensym("c")
+            em.line(f"{cvar} = {self._container_expr(node, inst_expr, idx)}")
+            kexpr = self._key_expr(e, self._vexpr)
+            if e.child.is_unit:
+                uvar = self._gensym("u")
+                self._emit_get(e, uvar, cvar, kexpr)
+                em.line(f"if {self._residual_condition(e.child, uvar, self._vexpr)}:")
+                with em.indent():
+                    if _strategy(e) == "list":
+                        em.line(f"_l_del({cvar}, {kexpr})")
+                    else:
+                        em.line(f"del {cvar}[{kexpr}]")
+                    em.line("removed = True")
+            else:
+                nvar = self._gensym("n")
+                self._emit_get(e, nvar, cvar, kexpr)
+                em.line(f"if {nvar} is not _MISS:")
+                with em.indent():
+                    self._emit_remove_walk(e.child, nvar)
+                    em.line(f"if {self._emptiness_expr(e.child, nvar)}:")
+                    with em.indent():
+                        if _strategy(e) == "list":
+                            em.line(f"_l_del({cvar}, {kexpr})")
+                        else:
+                            em.line(f"del {cvar}[{kexpr}]")
+
+    # -- top-level generation ----------------------------------------------------
+
+    def generate(self) -> str:
+        em = self.em
+        subsets = self._pattern_subsets()
+        plans = {subset: plan_query(self.decomposition, subset) for subset in subsets}
+        self._emit_module_header()
+        self._emit_class_header(subsets, plans)
+        with em.indent():
+            self._emit_init()
+            self._emit_coercers()
+            self._emit_insert()
+            self._emit_insert_row()
+            self._emit_remove()
+            self._emit_remove_row()
+            self._emit_update()
+            self._emit_query()
+            method_names = {}
+            for subset in subsets:
+                method_names[subset] = self._emit_query_method(subset, plans[subset])
+            for index in range(len(self.paths)):
+                self._emit_rows_path(index)
+            self._emit_inspection()
+        self._emit_dispatch(subsets, method_names)
+        return em.source()
+
+    def _emit_module_header(self) -> None:
+        em = self.em
+        em.docstring(
+            f"Generated by repro.codegen for decomposition "
+            f"{self.decomposition.name!r}: {self.decomposition.describe()}\n"
+            f"Do not edit; regenerate with repro.codegen.generate_source()."
+        )
+        em.lines(
+            "",
+            "from repro.core.errors import FunctionalDependencyError, WellFormednessError",
+            "from repro.core.fd import FunctionalDependency",
+            "from repro.core.interface import RelationInterface",
+            "from repro.core.relation import Relation",
+            "from repro.core.spec import RelationSpec",
+            "from repro.core.tuples import Tuple",
+            "from repro.structures.base import COUNTER as _C",
+            "",
+            "_MISS = object()",
+            f"_COLS = ({', '.join(repr(c) for c in self.cols)},)",
+            "_COLSET = frozenset(_COLS)",
+            "_COLINDEX = {c: i for i, c in enumerate(_COLS)}",
+        )
+        fd_literals = ", ".join(
+            f"FunctionalDependency({sorted(fd.lhs)!r}, {sorted(fd.rhs)!r})"
+            for fd in self.spec.fds
+        )
+        em.line(
+            f"_SPEC = RelationSpec({list(self.cols)!r}, fds=[{fd_literals}], "
+            f"name={self.spec.name!r})"
+        )
+        em.lines(
+            "",
+            "",
+            "def _l_get(c, k):",
+            "    en = _C.enabled",
+            "    for e in c:",
+            "        if en:",
+            "            _C.accesses += 1",
+            "        if e[0] == k:",
+            "            return e[1]",
+            "    return _MISS",
+            "",
+            "",
+            "def _l_put(c, k, v):",
+            "    en = _C.enabled",
+            "    for e in c:",
+            "        if en:",
+            "            _C.accesses += 1",
+            "        if e[0] == k:",
+            "            e[1] = v",
+            "            return",
+            "    c.append([k, v])",
+            "",
+            "",
+            "def _l_del(c, k):",
+            "    en = _C.enabled",
+            "    for i, e in enumerate(c):",
+            "        if en:",
+            "            _C.accesses += 1",
+            "        if e[0] == k:",
+            "            c[i] = c[-1]",
+            "            c.pop()",
+            "            return True",
+            "    return False",
+            "",
+            "",
+        )
+
+    def _emit_class_header(self, subsets: Sequence[FrozenSet[str]], plans: Dict) -> None:
+        em = self.em
+        em.line(f"class {self.class_name}(RelationInterface):")
+        lines = [
+            f"Compiled representation of {self.spec.name!r} stored as "
+            f"{self.decomposition.describe()}.",
+            "",
+            "Rows are value tuples over the sorted columns "
+            + "(" + ", ".join(self.cols) + ").",
+            "Pattern dispatch (built at compile time):",
+        ]
+        for subset in subsets:
+            pattern = "{" + ", ".join(sorted(subset)) + "}"
+            lines.append(f"  {pattern or '{}'}: {plans[subset].describe()}")
+        with em.indent():
+            em.docstring("\n".join(lines))
+            em.line()
+
+    def _emit_init(self) -> None:
+        em = self.em
+        root = self.decomposition.root
+        literal = "_MISS" if root.is_unit else self._node_literal(root)
+        with em.block("def __init__(self, enforce_fds=True):"):
+            em.line("self.spec = _SPEC")
+            em.line("self.enforce_fds = enforce_fds")
+            em.line(f"self._root = {literal}")
+            em.line("self._count = 0")
+            em.line("self._proj_cache = {}")
+        em.line()
+
+    def _emit_coercers(self) -> None:
+        em = self.em
+        with em.block("def _full_values(self, tup):"):
+            em.line("if type(tup) is Tuple:")
+            with em.indent():
+                em.line("d = tup.as_dict()")
+            em.line("elif tup is None:")
+            with em.indent():
+                em.line("d = {}")
+            em.line("else:")
+            with em.indent():
+                em.line("d = Tuple(tup).as_dict()")
+            em.line(f"if len(d) != {len(self.cols)} or not _COLSET.issuperset(d):")
+            with em.indent():
+                em.line("_SPEC.check_full_tuple(Tuple(d))")
+            em.line("return " + self._tuple_literal([f"d[{c!r}]" for c in self.cols]))
+        em.line()
+        with em.block("def _pattern_dict(self, pattern, role):"):
+            em.line("if pattern is None:")
+            with em.indent():
+                em.line("return {}")
+            em.line("if type(pattern) is Tuple:")
+            with em.indent():
+                em.line("d = pattern.as_dict()")
+            em.line("else:")
+            with em.indent():
+                em.line("d = Tuple(pattern).as_dict()")
+            em.line("if not _COLSET.issuperset(d):")
+            with em.indent():
+                em.line("_SPEC.check_partial_tuple(Tuple(d), role=role)")
+            em.line("return d")
+        em.line()
+
+    def _fd_query_call(self, lhs: FrozenSet[str], val: Callable[[str], str]) -> str:
+        mask = self._mask(lhs)
+        payload = ", ".join(f"{c!r}: {val(c)}" for c in sorted(lhs))
+        return f"self._q_{mask}({{{payload}}})"
+
+    def _emit_insert(self) -> None:
+        em = self.em
+        with em.block("def insert(self, tup):"):
+            em.line("row = self._full_values(tup)")
+            fds = list(self.spec.fds)
+            if fds:
+                em.line("if self.enforce_fds:")
+                with em.indent():
+                    em.line(f"{self._row_unpack()} = row")
+                    for fd in fds:
+                        rhs = sorted(fd.rhs)
+                        em.line(f"for _m in {self._fd_query_call(fd.lhs, self._vexpr)}:")
+                        with em.indent():
+                            check = " or ".join(
+                                f"_m[{self.col_index[c]}] != {self._vexpr(c)}" for c in rhs
+                            )
+                            em.line(f"if {check}:")
+                            with em.indent():
+                                em.line(
+                                    "raise FunctionalDependencyError("
+                                    '"inserting %r would violate %s" % (tup, '
+                                    f"{_fd_text(fd)!r}))"
+                                )
+            em.line("self._insert_row(row)")
+        em.line()
+
+    def _emit_insert_row(self) -> None:
+        em = self.em
+        self._reset_symbols()
+        with em.block("def _insert_row(self, row):"):
+            em.docstring(
+                "Insert a full row; returns whether it was new.  Mirrors "
+                "DecompositionInstance.insert_tuple: when FDs are not "
+                "enforced, rows sharing a unit binding are first removed "
+                "from every branch (structural last-writer-wins)."
+            )
+            em.line("en = _C.enabled")
+            em.line(f"{self._row_unpack()} = row")
+            self._emit_presence_check(["return False"])
+            em.line("if not self.enforce_fds:")
+            with em.indent():
+                self._emit_conflict_scan()
+            self._emit_store_walk(self.decomposition.root, "self._root")
+            em.line("self._count += 1")
+            em.line("return True")
+        em.line()
+
+    def _emit_remove(self) -> None:
+        em = self.em
+        with em.block("def remove(self, pattern=None):"):
+            em.line("p = self._pattern_dict(pattern, 'removal pattern')")
+            em.line("for r in list(self._query_rows(p)):")
+            with em.indent():
+                em.line("self._remove_row(r)")
+        em.line()
+
+    def _emit_remove_row(self) -> None:
+        em = self.em
+        self._reset_symbols()
+        with em.block("def _remove_row(self, row):"):
+            em.docstring("Remove a full row from every branch, pruning empty sub-instances.")
+            em.line("en = _C.enabled")
+            em.line(f"{self._row_unpack()} = row")
+            em.line("removed = False")
+            self._emit_remove_walk(self.decomposition.root, "self._root")
+            em.line("if removed:")
+            with em.indent():
+                em.line("self._count -= 1")
+            em.line("return removed")
+        em.line()
+
+    def _emit_update(self) -> None:
+        em = self.em
+        cols = self.cols
+        with em.block("def update(self, pattern, changes):"):
+            em.line("p = self._pattern_dict(pattern, 'update pattern')")
+            em.line("ch = self._pattern_dict(changes, 'update changes')")
+            em.line("if not ch:")
+            with em.indent():
+                em.line("return")
+            em.line("victims = list(self._query_rows(p))")
+            em.line("if not victims:")
+            with em.indent():
+                em.line("return")
+            merged = self._tuple_literal(
+                [f"ch.get({c!r}, r[{i}])" for i, c in enumerate(cols)]
+            )
+            em.line(f"merged = [{merged} for r in victims]")
+            fds = list(self.spec.fds)
+            if fds:
+                em.line("if self.enforce_fds:")
+                with em.indent():
+                    em.line("vic = set(victims)")
+                    for fd in fds:
+                        self._emit_update_fd_check(fd)
+            em.line("for r in victims:")
+            with em.indent():
+                em.line("self._remove_row(r)")
+            em.line("for m in merged:")
+            with em.indent():
+                em.line("self._insert_row(m)")
+        em.line()
+
+    def _emit_update_fd_check(self, fd) -> None:
+        """The reachable-group FD check: merged rows must agree within each
+        left-hand-side group, both among themselves and with the untouched
+        rows already stored under that group."""
+        em = self.em
+        lhs = sorted(fd.lhs)
+        rhs = sorted(fd.rhs)
+        gvar = self._gensym("g")
+
+        def row_proj(var: str, columns: List[str]) -> str:
+            if not columns:
+                return "None"
+            if len(columns) == 1:
+                return f"{var}[{self.col_index[columns[0]]}]"
+            return "(" + ", ".join(f"{var}[{self.col_index[c]}]" for c in columns) + ")"
+
+        em.line(f"{gvar} = {{}}")
+        em.line("for m in merged:")
+        with em.indent():
+            em.line(f"lk = {row_proj('m', lhs)}")
+            em.line(f"rv = {row_proj('m', rhs)}")
+            em.line(f"prev = {gvar}.get(lk, _MISS)")
+            em.line("if prev is _MISS:")
+            with em.indent():
+                em.line(f"{gvar}[lk] = rv")
+            em.line("elif prev != rv:")
+            with em.indent():
+                em.line(
+                    "raise FunctionalDependencyError("
+                    '"update with pattern %r would merge tuples into conflicting '
+                    f'values for %s" % (pattern, {_fd_text(fd)!r}))'
+                )
+        em.line(f"for lk, rv in {gvar}.items():")
+        with em.indent():
+            if len(lhs) == 1:
+                lhs_vals = {lhs[0]: "lk"}
+            else:
+                lhs_vals = {c: f"lk[{j}]" for j, c in enumerate(lhs)}
+            em.line(f"for _x in {self._fd_query_call(fd.lhs, lambda c: lhs_vals[c])}:")
+            with em.indent():
+                em.line("if _x in vic:")
+                with em.indent():
+                    em.line("continue")
+                em.line(f"if {row_proj('_x', rhs)} != rv:")
+                with em.indent():
+                    em.line(
+                        "raise FunctionalDependencyError("
+                        '"update with pattern %r and changes %r would violate '
+                        f'%s" % (pattern, changes, {_fd_text(fd)!r}))'
+                    )
+
+    def _emit_query(self) -> None:
+        em = self.em
+        with em.block("def query(self, pattern=None, output=None):"):
+            em.line("p = self._pattern_dict(pattern, 'query pattern')")
+            em.line("rows = self._query_rows(p)")
+            em.line("if output is None:")
+            with em.indent():
+                em.line("return [Tuple.from_sorted_items(zip(_COLS, r)) for r in rows]")
+            em.line("wanted = _SPEC.check_output_columns(output)")
+            em.line("cached = self._proj_cache.get(wanted)")
+            em.line("if cached is None:")
+            with em.indent():
+                em.line("out_cols = tuple(sorted(wanted))")
+                em.line("cached = (out_cols, tuple(_COLINDEX[c] for c in out_cols))")
+                em.line("self._proj_cache[wanted] = cached")
+            em.line("out_cols, idxs = cached")
+            em.line("seen = {tuple(r[i] for i in idxs) for r in rows}")
+            em.line("return [Tuple.from_sorted_items(zip(out_cols, vals)) for vals in seen]")
+        em.line()
+        with em.block("def _query_rows(self, p):"):
+            em.line("if not p:")
+            with em.indent():
+                em.line("return self._q_0(p)")
+            em.line("handler = _PLANS.get(frozenset(p))")
+            em.line("if handler is None:")
+            with em.indent():
+                em.line("return self._q_fallback(p)")
+            em.line("return handler(self, p)")
+        em.line()
+        with em.block("def _q_fallback(self, p):"):
+            em.docstring("Scan-and-filter fallback for patterns with no specialised method.")
+            em.line("crit = [(_COLINDEX[c], v) for c, v in p.items()]")
+            em.line("for r in self._q_0({}):")
+            with em.indent():
+                em.line("ok = True")
+                em.line("for i, v in crit:")
+                with em.indent():
+                    em.line("if r[i] != v:")
+                    with em.indent():
+                        em.line("ok = False")
+                        em.line("break")
+                em.line("if ok:")
+                with em.indent():
+                    em.line("yield r")
+        em.line()
+
+    def _emit_inspection(self) -> None:
+        em = self.em
+        with em.block("def to_relation(self):"):
+            em.line(
+                "return Relation(_COLS, "
+                "[Tuple.from_sorted_items(zip(_COLS, r)) for r in self._rows_path_0()])"
+            )
+        em.line()
+        with em.block("def checkpoint(self):"):
+            em.line("return self.to_relation()")
+        em.line()
+        with em.block("def check_well_formed(self):"):
+            em.docstring(
+                "Branch agreement and count consistency (the compiled "
+                "counterpart of Figure 5's instance well-formedness)."
+            )
+            em.line("rows = set(self._rows_path_0())")
+            for index in range(1, len(self.paths)):
+                ovar = f"other{index}"
+                em.line(f"{ovar} = set(self._rows_path_{index}())")
+                em.line(f"if {ovar} != rows:")
+                with em.indent():
+                    em.line(
+                        "raise WellFormednessError("
+                        f'"branches 0 and {index} disagree on %d row(s)" '
+                        f"% len({ovar} ^ rows))"
+                    )
+            em.line("if len(rows) != self._count:")
+            with em.indent():
+                em.line(
+                    "raise WellFormednessError("
+                    '"stored rows (%d) disagree with the maintained count (%d)" '
+                    "% (len(rows), self._count))"
+                )
+        em.line()
+        with em.block("def __len__(self):"):
+            em.line("return self._count")
+        em.line()
+        with em.block("def __repr__(self):"):
+            em.line(
+                'return "%s(size=%d)" % (type(self).__name__, self._count)'
+            )
+        em.line()
+
+    def _emit_dispatch(
+        self, subsets: Sequence[FrozenSet[str]], method_names: Dict[FrozenSet[str], str]
+    ) -> None:
+        em = self.em
+        em.line()
+        em.line("_PLANS = {")
+        with em.indent():
+            for subset in subsets:
+                if subset:
+                    literal = "frozenset((" + ", ".join(repr(c) for c in sorted(subset)) + ",))"
+                else:
+                    literal = "frozenset()"
+                em.line(f"{literal}: {self.class_name}.{method_names[subset]},")
+        em.line("}")
+
+
+def _fd_text(fd) -> str:
+    return repr(fd)
+
+
+def generate_source(
+    spec: RelationSpec,
+    decomposition: Union[Decomposition, str],
+    class_name: Optional[str] = None,
+) -> str:
+    """Generate the source of a standalone compiled relation class.
+
+    The decomposition must be adequate for *spec*
+    (:class:`~repro.core.errors.AdequacyError` otherwise).  The returned
+    module source depends only on stable ``repro`` entry points and can be
+    written to a file, imported, diffed, or inspected.
+    """
+    if isinstance(decomposition, str):
+        decomposition = parse_decomposition(decomposition)
+    class_name = class_name or _default_class_name(decomposition.name)
+    return _RelationCompiler(spec, decomposition, class_name).generate()
+
+
+def compile_relation(
+    spec: RelationSpec,
+    decomposition: Union[Decomposition, str],
+    class_name: Optional[str] = None,
+) -> type:
+    """Compile *decomposition* for *spec* into a relation class.
+
+    The returned class implements
+    :class:`~repro.core.interface.RelationInterface` and is interchangeable
+    with :class:`~repro.core.reference.ReferenceRelation` and
+    :class:`~repro.decomposition.relation.DecomposedRelation`; construct
+    instances with ``cls(enforce_fds=True)``.  The generated module source
+    is attached as ``cls.__source__``; the originating objects as
+    ``cls.SPEC`` and ``cls.DECOMPOSITION``.
+    """
+    if isinstance(decomposition, str):
+        decomposition = parse_decomposition(decomposition)
+    class_name = class_name or _default_class_name(decomposition.name)
+    source = generate_source(spec, decomposition, class_name)
+    module_name = f"repro.codegen.generated_{next(_generated_modules)}"
+    namespace: Dict[str, object] = {"__name__": module_name}
+    exec(compile(source, f"<{module_name}>", "exec"), namespace)
+    cls = namespace[class_name]
+    cls.__source__ = source  # type: ignore[attr-defined]
+    cls.SPEC = spec  # type: ignore[attr-defined]
+    cls.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+    return cls  # type: ignore[return-value]

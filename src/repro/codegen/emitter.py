@@ -1,0 +1,85 @@
+"""A tiny indentation-aware source emitter used by the relation compiler.
+
+The compiler builds Python source line by line while walking the
+decomposition DAG; :class:`Emitter` keeps the indentation bookkeeping out of
+the generation logic so the emission code reads like the code it produces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = ["Emitter"]
+
+INDENT = "    "
+
+
+class Emitter:
+    """Accumulates source lines with managed indentation."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> None:
+        """Append one line at the current indentation (blank lines unindented)."""
+        if text:
+            self._lines.append(INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        for text in texts:
+            self.line(text)
+
+    @contextmanager
+    def indent(self) -> Iterator[None]:
+        """Indent one level for the duration of the ``with`` block."""
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
+    def push(self) -> None:
+        """Indent one level until a matching :meth:`pop`.
+
+        Used when the emitted structure (e.g. nested scan loops along a
+        query plan) outlives any single Python ``with`` block in the
+        generator itself.
+        """
+        self._depth += 1
+
+    def pop(self, levels: int = 1) -> None:
+        """Undo *levels* :meth:`push` calls."""
+        self._depth -= levels
+
+    def block(self, header: str) -> "_Block":
+        """Emit *header* and return a context manager indenting its body."""
+        self.line(header)
+        return _Block(self)
+
+    def docstring(self, text: str) -> None:
+        """Emit *text* as a (multi-line safe) docstring at current depth."""
+        safe = text.replace("\\", "\\\\").replace('"""', '\\"\\"\\"')
+        if "\n" in safe or safe.endswith('"'):
+            self.line('"""' + safe)
+            self.line('"""')
+        else:
+            self.line('"""' + safe + '"""')
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, emitter: Emitter) -> None:
+        self._emitter = emitter
+
+    def __enter__(self) -> Emitter:
+        self._emitter._depth += 1
+        return self._emitter
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._emitter._depth -= 1

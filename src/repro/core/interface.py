@@ -9,18 +9,20 @@ Section 2 of the paper defines five operations on relations::
     query r s C     = π_C {t ∈ !r | t ⊇ s}
 
 :class:`RelationInterface` captures this contract as an abstract base class.
-Two implementations exist in the library:
+Three implementations exist in the library:
 
 * :class:`repro.core.reference.ReferenceRelation` — the specification-level
   implementation (a mutable wrapper around :class:`repro.core.Relation`);
-  and
 * :class:`repro.decomposition.DecomposedRelation` — the interpreted
   runtime over a decomposition instance (Section 3), executing each
-  operation through query plans over primitive containers.
+  operation through query plans over primitive containers; and
+* the classes produced by :func:`repro.codegen.compile_relation` — the
+  compiled tier, specialising every operation to one decomposition at
+  class-generation time (the paper's code generator).
 
-Both are interchangeable from the client's point of view, which is the
-paper's central abstraction claim; a Python code generator that compiles a
-decomposition into a standalone class is a planned follow-up (see ROADMAP).
+All are interchangeable from the client's point of view, which is the
+paper's central abstraction claim; ``benchmarks/`` quantifies what each
+tier buys.
 """
 
 from __future__ import annotations

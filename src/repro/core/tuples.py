@@ -179,6 +179,22 @@ class Tuple(Mapping[str, Value]):
         """The empty tuple ``⟨⟩`` (the unique valuation of the empty column set)."""
         return _EMPTY_TUPLE
 
+    @classmethod
+    def from_sorted_items(cls, items: Iterable[PyTuple[str, Value]]) -> "Tuple":
+        """Trusted fast-path constructor used by compiled representations.
+
+        *items* must be ``(column, value)`` pairs already sorted by column
+        name, with validated column names and values — no checks are
+        performed.  Compiled relation classes (:mod:`repro.codegen`) store
+        rows as plain value tuples in sorted column order, so they can
+        materialise :class:`Tuple` results without re-sorting or
+        re-validating on every query.
+        """
+        self = cls.__new__(cls)
+        self._items = tuple(items)
+        self._hash = hash(self._items)
+        return self
+
     @staticmethod
     def from_pairs(pairs: Iterable[PyTuple[str, Value]]) -> "Tuple":
         """Build a tuple from an iterable of ``(column, value)`` pairs."""

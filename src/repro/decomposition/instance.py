@@ -25,15 +25,16 @@ full tuples by query plans first (:mod:`repro.decomposition.plan`).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple as PyTuple
 
 from ..core.errors import WellFormednessError
 from ..core.relation import Relation
 from ..core.spec import RelationSpec
 from ..core.tuples import Tuple
 from ..structures.base import MISSING, AssociativeContainer
+from ..structures.registry import size_class
 from .adequacy import check_adequacy
-from .model import Decomposition, DecompNode
+from .model import Decomposition, DecompNode, MapEdge
 
 __all__ = ["NodeInstance", "DecompositionInstance"]
 
@@ -68,13 +69,37 @@ class DecompositionInstance:
     precondition of the paper's soundness theorem.
     """
 
-    __slots__ = ("decomposition", "spec", "root")
+    __slots__ = (
+        "decomposition",
+        "spec",
+        "root",
+        "_edges",
+        "_tuple_count",
+        "edge_entries",
+        "edge_containers",
+    )
 
     def __init__(self, decomposition: Decomposition, spec: RelationSpec):
         check_adequacy(decomposition, spec)
         self.decomposition = decomposition
         self.spec = spec
+        #: Every distinct edge, in deterministic pre-order — the index space
+        #: of the live-size statistics below.
+        self._edges: PyTuple[MapEdge, ...] = tuple(
+            e for node in decomposition.nodes() for e in node.edges
+        )
         self.root = NodeInstance(decomposition.root)
+        self._reset_stats()
+
+    def _reset_stats(self) -> None:
+        """(Re-)initialise the incremental tuple count and per-edge sizes."""
+        self._tuple_count = 0
+        #: Total entries across every container materialised for an edge.
+        self.edge_entries: Dict[MapEdge, int] = {e: 0 for e in self._edges}
+        #: Number of containers materialised for an edge.
+        self.edge_containers: Dict[MapEdge, int] = {e: 0 for e in self._edges}
+        for e in self.decomposition.root.edges:
+            self.edge_containers[e] = 1
 
     # -- mutators ---------------------------------------------------------------
 
@@ -92,7 +117,8 @@ class DecompositionInstance:
         """
         for conflict in self._conflicts(self.root, tup, Tuple.empty()):
             self.remove_tuple(conflict)
-        self._insert(self.root, tup)
+        if self._insert(self.root, tup):
+            self._tuple_count += 1
 
     def _conflicts(self, instance: NodeInstance, tup: Tuple, binding: Tuple) -> Set[Tuple]:
         """Existing tuples that share a unit binding with *tup* but differ."""
@@ -111,18 +137,28 @@ class DecompositionInstance:
                 found |= self._conflicts(child, tup, binding.merge(key))
         return found
 
-    def _insert(self, instance: NodeInstance, tup: Tuple) -> None:
+    def _insert(self, instance: NodeInstance, tup: Tuple) -> bool:
+        """Insert below *instance*; return whether the tuple is new (judged
+        on the primary branch — well-formed instances agree across branches)."""
         node = instance.node
         if node.is_unit:
+            added = instance.unit_value is None
             instance.unit_value = tup.project(node.unit_columns)
-            return
-        for container, e in zip(instance.containers, node.edges):
+            return added
+        added = False
+        for index, (container, e) in enumerate(zip(instance.containers, node.edges)):
             key = tup.project(e.key)
             child = container.lookup(key)
             if child is MISSING:
                 child = NodeInstance(e.child)
                 container.insert(key, child)
-            self._insert(child, tup)
+                self.edge_entries[e] += 1
+                for f in e.child.edges:
+                    self.edge_containers[f] += 1
+            child_added = self._insert(child, tup)
+            if index == 0:
+                added = child_added
+        return added
 
     def remove_tuple(self, tup: Tuple) -> bool:
         """Remove a full tuple; prune sub-instances that become empty.
@@ -131,6 +167,8 @@ class DecompositionInstance:
         well-formed instances agree across branches).
         """
         removed, _ = self._remove(self.root, tup)
+        if removed:
+            self._tuple_count -= 1
         return removed
 
     def _remove(self, instance: NodeInstance, tup: Tuple) -> "tuple[bool, bool]":
@@ -153,6 +191,9 @@ class DecompositionInstance:
                 removed = removed or child_removed
                 if child_empty:
                     container.remove(key)
+                    self.edge_entries[e] -= 1
+                    for f in child.node.edges:
+                        self.edge_containers[f] -= 1
             if len(container):
                 empty = False
         return removed, empty
@@ -160,6 +201,7 @@ class DecompositionInstance:
     def clear(self) -> None:
         """Reset to the empty instance."""
         self.root = NodeInstance(self.decomposition.root)
+        self._reset_stats()
 
     # -- abstraction function ---------------------------------------------------
 
@@ -185,10 +227,40 @@ class DecompositionInstance:
             yield from self._iter(child, binding.merge(key))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.iter_tuples())
+        """O(1): the count is maintained incrementally by the mutators."""
+        return self._tuple_count
 
     def is_empty(self) -> bool:
-        return next(self.iter_tuples(), None) is None
+        """O(1) via the incremental tuple count."""
+        return self._tuple_count == 0
+
+    # -- live size statistics (cost-based planning) ------------------------------
+
+    def edge_size(self, e: MapEdge) -> float:
+        """Average number of entries per materialised container of edge *e*."""
+        containers = self.edge_containers.get(e, 0)
+        if containers <= 0:
+            return 0.0
+        return self.edge_entries[e] / containers
+
+    def edge_sizes(self) -> Dict[MapEdge, float]:
+        """Average live container size for every edge of the decomposition.
+
+        Passed to :func:`repro.decomposition.plan.plan_query` so that
+        index-vs-scan choices track the data actually stored rather than a
+        symbolic default size.
+        """
+        return {e: self.edge_size(e) for e in self._edges}
+
+    def size_signature(self) -> PyTuple[int, ...]:
+        """Per-edge size classes (power-of-two buckets of the average size).
+
+        ``DecomposedRelation`` caches query plans per signature: while every
+        edge stays within its size class, cached plans remain valid; when a
+        container grows or shrinks past a power of two the signature changes
+        and cached plans are re-ranked against the live sizes.
+        """
+        return tuple(size_class(self.edge_size(e)) for e in self._edges)
 
     # -- well-formedness (Figure 5) ---------------------------------------------
 

@@ -23,7 +23,7 @@ against a :class:`~repro.decomposition.instance.DecompositionInstance`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Mapping, Optional, Union
 
 from ..core.columns import ColumnSet, columns, format_columns
 from ..core.errors import QueryPlanError
@@ -35,8 +35,14 @@ from .model import Decomposition, MapEdge, Path
 
 __all__ = ["LookupStep", "ScanStep", "QueryPlan", "plan_query", "execute_plan"]
 
-#: Symbolic container size at which plan costs are compared.
+#: Symbolic container size at which plan costs are compared when no live
+#: sizes are available (e.g. planning against a decomposition with no
+#: instance, or an edge that has not materialised any container yet).
 DEFAULT_COST_SIZE = 1000.0
+
+#: Optional per-edge live container sizes (average entries per container),
+#: as produced by :meth:`DecompositionInstance.edge_sizes`.
+EdgeSizes = Mapping[MapEdge, float]
 
 
 class LookupStep:
@@ -92,14 +98,25 @@ class QueryPlan:
     def lookup_count(self) -> int:
         return sum(1 for step in self.steps if isinstance(step, LookupStep))
 
-    def estimated_cost(self, n: float = DEFAULT_COST_SIZE) -> float:
-        """A coarse cost estimate: scans multiply the frontier, lookups do not."""
+    def estimated_cost(
+        self, n: float = DEFAULT_COST_SIZE, sizes: Optional[EdgeSizes] = None
+    ) -> float:
+        """A coarse cost estimate: scans multiply the frontier, lookups do not.
+
+        With *sizes* (a mapping from :class:`MapEdge` to its average live
+        container size, see :meth:`DecompositionInstance.edge_sizes`), each
+        step is charged against the size of the containers it actually
+        touches instead of the symbolic *n* — so the estimate tracks the
+        data distribution, e.g. a deep index whose second level holds two
+        entries per key costs far less than one holding a thousand.
+        """
         total = 0.0
         frontier = 1.0
         for step in self.steps:
-            total += frontier * step.cost(n)
+            step_n = n if sizes is None else sizes.get(step.edge, n)
+            total += frontier * step.cost(step_n)
             if isinstance(step, ScanStep):
-                frontier *= max(1.0, n)
+                frontier *= max(1.0, step_n)
         return total
 
     def describe(self) -> str:
@@ -114,6 +131,7 @@ def plan_query(
     decomposition: Decomposition,
     pattern_columns: Union[str, Iterable[str]],
     require_lookup: bool = False,
+    sizes: Optional[EdgeSizes] = None,
 ) -> QueryPlan:
     """Choose the cheapest straight-line plan for a pattern over *pattern_columns*.
 
@@ -123,10 +141,16 @@ def plan_query(
         require_lookup: when ``True``, raise :class:`QueryPlanError` unless a
             plan exists whose every step is a lookup (the paper's "query is
             supported efficiently" notion used by operation planning).
+        sizes: optional per-edge live container sizes
+            (:meth:`DecompositionInstance.edge_sizes`).  Without them plans
+            are ranked structurally (fewest scans first, then the symbolic
+            cost at :data:`DEFAULT_COST_SIZE`); with them the estimated cost
+            against the real data leads, so the chosen path flips when the
+            data distribution does.
     """
     bound = columns(pattern_columns)
-    best = None
-    best_plan = None
+    best = best_lookup = None
+    best_plan = best_lookup_plan = None
     for path_index, path in enumerate(decomposition.paths()):
         steps: List[PlanStep] = []
         for edge_index, e in zip(path.edge_indices, path.edges):
@@ -135,19 +159,29 @@ def plan_query(
             else:
                 steps.append(ScanStep(e, edge_index))
         plan = QueryPlan(path, steps, bound)
-        rank = (plan.scan_count, plan.estimated_cost(), path_index)
+        if sizes is None:
+            rank = (plan.scan_count, plan.estimated_cost(), path_index)
+        else:
+            rank = (plan.estimated_cost(sizes=sizes), plan.scan_count, path_index)
         if best is None or rank < best:
             best, best_plan = rank, plan
+        # With live sizes a scanning plan over tiny containers can outrank a
+        # lookup-only plan; callers asking for require_lookup still deserve
+        # the cheapest lookup-only plan if one exists, so rank those apart.
+        if plan.scan_count == 0 and (best_lookup is None or rank < best_lookup):
+            best_lookup, best_lookup_plan = rank, plan
     if best_plan is None:
         raise QueryPlanError(
             f"decomposition {decomposition.name!r} has no root-to-leaf paths"
         )
-    if require_lookup and best_plan.scan_count:
-        raise QueryPlanError(
-            f"no lookup-only plan answers a pattern over {format_columns(bound)} "
-            f"on decomposition {decomposition.name!r}; best plan is "
-            f"{best_plan.describe()}"
-        )
+    if require_lookup:
+        if best_lookup_plan is None:
+            raise QueryPlanError(
+                f"no lookup-only plan answers a pattern over {format_columns(bound)} "
+                f"on decomposition {decomposition.name!r}; best plan is "
+                f"{best_plan.describe()}"
+            )
+        return best_lookup_plan
     return best_plan
 
 

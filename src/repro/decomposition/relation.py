@@ -60,15 +60,28 @@ class DecomposedRelation(RelationInterface):
         self.enforce_fds = enforce_fds
         self.instance = DecompositionInstance(decomposition, spec)
         self._plan_cache: Dict[ColumnSet, QueryPlan] = {}
+        self._plan_signature = self.instance.size_signature()
 
     # -- planning ---------------------------------------------------------------
 
     def plan_for(self, pattern_columns: Union[str, Iterable[str], ColumnSet]) -> QueryPlan:
-        """The (cached) plan used for patterns over *pattern_columns*."""
+        """The (cached) plan used for patterns over *pattern_columns*.
+
+        Plans are chosen against the instance's *live* container sizes
+        (:meth:`DecompositionInstance.edge_sizes`) and cached per size-class
+        signature: when any container's size class changes (crosses a power
+        of two), the cache is invalidated and subsequent patterns are
+        re-planned — so index-vs-scan choices track the data actually
+        stored, not the symbolic :data:`~repro.decomposition.plan.DEFAULT_COST_SIZE`.
+        """
+        signature = self.instance.size_signature()
+        if signature != self._plan_signature:
+            self._plan_cache.clear()
+            self._plan_signature = signature
         key = columns(pattern_columns)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = plan_query(self.decomposition, key)
+            plan = plan_query(self.decomposition, key, sizes=self.instance.edge_sizes())
             self._plan_cache[key] = plan
         return plan
 
@@ -111,12 +124,31 @@ class DecomposedRelation(RelationInterface):
             return
         merged = [victim.merge(changes) for victim in victims]
         if self.enforce_fds:
-            updated = (set(self.scan()) - set(victims)) | set(merged)
-            if not self.spec.fds.satisfied_by(updated):
-                raise FunctionalDependencyError(
-                    f"update with pattern {pattern!r} and changes {changes!r} would "
-                    f"violate the specification's functional dependencies"
-                )
+            # Only FD groups containing a merged tuple can become violated:
+            # untouched tuples keep their values and were mutually consistent
+            # before the update.  Check each reachable group through indexed
+            # queries instead of rescanning the whole relation.
+            victim_set = set(victims)
+            for fd in self.spec.fds:
+                groups: Dict[Tuple, Tuple] = {}
+                for tup in merged:
+                    lhs_value = tup.project(fd.lhs)
+                    rhs_value = tup.project(fd.rhs)
+                    first = groups.setdefault(lhs_value, rhs_value)
+                    if first != rhs_value:
+                        raise FunctionalDependencyError(
+                            f"update with pattern {pattern!r} and changes {changes!r} "
+                            f"would merge tuples into conflicting values for {fd!r}"
+                        )
+                for lhs_value, rhs_value in groups.items():
+                    for existing in self._matches(lhs_value):
+                        if existing in victim_set:
+                            continue
+                        if existing.project(fd.rhs) != rhs_value:
+                            raise FunctionalDependencyError(
+                                f"update with pattern {pattern!r} and changes "
+                                f"{changes!r} would violate {fd!r} against {existing!r}"
+                            )
         for victim in victims:
             self.instance.remove_tuple(victim)
         for tup in merged:
@@ -148,6 +180,14 @@ class DecomposedRelation(RelationInterface):
     def check_well_formed(self) -> None:
         """Check the underlying instance (delegates to Figure 5's rules)."""
         self.instance.check_well_formed()
+
+    def __len__(self) -> int:
+        """O(1): delegates to the instance's incremental tuple count."""
+        return len(self.instance)
+
+    def is_empty(self) -> bool:
+        """O(1) via the incremental tuple count."""
+        return self.instance.is_empty()
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,7 @@ from .registry import (
     default_structure_names,
     get_structure,
     register_structure,
+    size_class,
     structure_cost,
     structure_names,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "default_structure_names",
     "get_structure",
     "register_structure",
+    "size_class",
     "structure_cost",
     "structure_names",
 ]

@@ -84,6 +84,7 @@ class AVLTreeMap(AssociativeContainer):
     NAME = "btree"
     ORDERED = True
     INTRUSIVE = False
+    CODEGEN_STRATEGY = "tree"
 
     def __init__(self) -> None:
         self._root: Optional[_AVLNode] = None

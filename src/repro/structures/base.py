@@ -138,6 +138,13 @@ class AssociativeContainer(abc.ABC):
     ORDERED: bool = False
     #: Whether the structure supports O(1) removal given the stored value.
     INTRUSIVE: bool = False
+    #: How the code generator (:mod:`repro.codegen`) lowers this structure:
+    #: ``"hash"`` — a Python dict with O(1) probes; ``"tree"`` — a dict whose
+    #: probes are charged ``log2(n)`` accesses (matching the cost model of a
+    #: balanced tree); ``"list"`` — a plain list of entries with genuinely
+    #: linear search, so compiled list layouts keep their real asymptotics.
+    #: Structures registered by users default to ``"hash"``.
+    CODEGEN_STRATEGY: str = "hash"
 
     # -- cost model --------------------------------------------------------------
 

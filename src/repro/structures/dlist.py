@@ -39,6 +39,7 @@ class DListMap(AssociativeContainer):
     NAME = "dlist"
     ORDERED = False
     INTRUSIVE = False
+    CODEGEN_STRATEGY = "list"
 
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None
@@ -133,6 +134,7 @@ class IntrusiveListMap(AssociativeContainer):
     NAME = "ilist"
     ORDERED = False
     INTRUSIVE = True
+    CODEGEN_STRATEGY = "list"
 
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None

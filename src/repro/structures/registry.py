@@ -23,6 +23,7 @@ __all__ = [
     "get_structure",
     "structure_names",
     "structure_cost",
+    "size_class",
     "default_structure_names",
     "STRUCTURE_REGISTRY",
 ]
@@ -73,6 +74,20 @@ def structure_cost(name: str, n: float, operation: str = "lookup") -> float:
     if operation == "scan":
         return cls.scan_cost(n)
     raise DecompositionError(f"unknown cost operation {operation!r}; use 'lookup' or 'scan'")
+
+
+def size_class(n: float) -> int:
+    """The power-of-two bucket of a container size (``0, 1, 2, 4, 8, ...``).
+
+    Live cost-based planning re-ranks query plans only when a container's
+    *size class* changes rather than on every mutation: costs estimated from
+    ``n`` and from ``1.9 n`` never differ enough to flip an index-vs-scan
+    choice under the ``m_ψ(n)`` cost models, so plans are cached per size
+    class.  ``DecomposedRelation`` compares the per-edge size-class
+    signature of its instance on each planning request and invalidates its
+    plan cache when the signature moves.
+    """
+    return int(n).bit_length() if n > 0 else 0
 
 
 def default_structure_names() -> List[str]:

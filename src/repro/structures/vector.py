@@ -28,6 +28,7 @@ class VectorMap(AssociativeContainer):
     NAME = "vector"
     ORDERED = False
     INTRUSIVE = False
+    CODEGEN_STRATEGY = "list"
 
     def __init__(self) -> None:
         self._entries: List[Optional[PyTuple[Tuple, Any]]] = []

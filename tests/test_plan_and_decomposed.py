@@ -43,6 +43,7 @@ class TestPlanner:
     def test_full_scan_prefers_cheap_path(self, decomposition):
         plan = plan_query(decomposition, [])
         assert plan.scan_count == len(plan.steps)
+        assert all(isinstance(step, ScanStep) for step in plan.steps)
 
     def test_residual_pattern_columns_are_filtered_not_planned(self, decomposition):
         plan = plan_query(decomposition, "ns, pid, cpu")
