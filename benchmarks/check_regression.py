@@ -7,13 +7,18 @@ increase is a genuine algorithmic regression (a plan gone bad, an index no
 longer used, pruning lost) rather than CI noise.  Run the harness with
 ``PYTHONHASHSEED=0`` (as CI does) to make the counts bit-exact; otherwise
 hash-table chain layouts introduce ~1% jitter, far inside the 2x headroom.
-Timing-derived speedups are printed for context and checked only loosely
-(the compiled tier must stay faster than the interpreted tier) because
-wall-clock on shared CI runners is unreliable.
+
+Timing-derived speedups are machine-dependent, and wall-clock on shared CI
+runners is unreliable — so in ``--quick`` mode (short traces, the CI
+configuration, where a single scheduler hiccup can flip the ratio) the
+"compiled must stay faster than interpreted" check is **advisory**: it
+prints a warning and does not fail the run.  Only the access-count
+regressions are fatal there.  Full-length runs keep the timing check fatal,
+since at default trace sizes an inversion means something real.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py BENCH_2.json benchmarks/baseline.json
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_3.json benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -25,9 +30,17 @@ import sys
 MAX_ACCESS_REGRESSION = 2.0
 
 
-def compare(current: dict, baseline: dict) -> list:
-    """Return a list of human-readable failures (empty when healthy)."""
+def compare(current: dict, baseline: dict) -> "tuple[list, list]":
+    """Compare *current* against *baseline*.
+
+    Returns ``(failures, warnings)``: deterministic access-count regressions
+    are always failures; a timing inversion (compiled slower than
+    interpreted) is a failure on full-length runs but only a warning in
+    quick mode, whose traces are too short for reliable wall-clock.
+    """
     failures = []
+    warnings = []
+    quick = current.get("meta", {}).get("mode") == "quick"
     for name, base_data in sorted(baseline.get("workloads", {}).items()):
         cur_data = current.get("workloads", {}).get(name)
         if cur_data is None:
@@ -45,12 +58,37 @@ def compare(current: dict, baseline: dict) -> list:
                     f"{name}/{tier}: {cur_accesses:,d} accesses vs baseline "
                     f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
                 )
+        # The autotuner's winning access count is as deterministic as the
+        # tier counts; a >2x jump means the scorer started picking a
+        # genuinely worse layout.  As with a missing tier, a baseline that
+        # has the section while the current report does not is a hard
+        # failure — otherwise a --skip-autotune run would silently disable
+        # this gate.
+        base_tuned = base_data.get("autotuned") or {}
+        cur_tuned = cur_data.get("autotuned")
+        base_accesses = base_tuned.get("accesses", 0)
+        if base_accesses and cur_tuned is None:
+            failures.append(
+                f"{name}/autotuned: section missing from current results "
+                f"(baseline has it; was the harness run with --skip-autotune?)"
+            )
+        elif base_accesses:
+            cur_accesses = cur_tuned.get("accesses", 0)
+            if cur_accesses > base_accesses * MAX_ACCESS_REGRESSION:
+                failures.append(
+                    f"{name}/autotuned: {cur_accesses:,d} accesses vs baseline "
+                    f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
+                )
         speedup = cur_data.get("speedup_compiled_vs_interpreted")
         if speedup is not None and speedup < 1.0:
-            failures.append(
+            message = (
                 f"{name}: compiled tier ({speedup}x) is slower than the interpreted tier"
             )
-    return failures
+            if quick:
+                warnings.append(message + " (advisory in quick mode: unreliable wall-clock)")
+            else:
+                failures.append(message)
+    return failures, warnings
 
 
 def main(argv: list) -> int:
@@ -87,10 +125,19 @@ def main(argv: list) -> int:
             print(
                 f"{name:<12} {tier:<12} {cur_accesses:>14,d} {base_accesses:>14,d} {ratio}"
             )
+        base_tuned = (base_data.get("autotuned") or {}).get("accesses", 0)
+        cur_tuned = (cur_data.get("autotuned") or {}).get("accesses", 0)
+        if base_tuned:
+            ratio = f"{cur_tuned / base_tuned:>6.2f}x"
+            print(f"{name:<12} {'autotuned':<12} {cur_tuned:>14,d} {base_tuned:>14,d} {ratio}")
         speedup = cur_data.get("speedup_compiled_vs_interpreted")
         print(f"{name:<12} compiled-vs-interpreted speedup: {speedup}x")
 
-    failures = compare(current, baseline)
+    failures, warnings = compare(current, baseline)
+    if warnings:
+        print("\nWARNINGS (advisory, not failing the run):", file=sys.stderr)
+        for warning in warnings:
+            print(f"  - {warning}", file=sys.stderr)
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

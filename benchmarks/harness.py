@@ -8,9 +8,13 @@ the same operation trace, and records:
   :data:`repro.structures.base.COUNTER` (machine-independent — this is what
   the CI regression check compares);
 * the final relation, asserted identical across tiers (a coarse soundness
-  check riding along with every benchmark run).
+  check riding along with every benchmark run);
+* the **autotuned** column: the §5 autotuner (:mod:`repro.autotuner`) picks
+  a layout for each workload from its own trace, and the report shows the
+  winner's access count next to every hand-written layout replayed on the
+  same trace (``--skip-autotune`` drops the column).
 
-Results are written as JSON (``BENCH_2.json`` by convention at the repo
+Results are written as JSON (``BENCH_3.json`` by convention at the repo
 root); ``benchmarks/baseline.json`` holds the checked-in baseline used by
 ``benchmarks/check_regression.py``.
 """
@@ -24,15 +28,16 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.autotuner import Trace, autotune, canonical_shape, replay_operations
 from repro.codegen import compile_relation
 from repro.core import ReferenceRelation
 from repro.core.interface import RelationInterface
-from repro.decomposition import DecomposedRelation
+from repro.decomposition import DecomposedRelation, parse_decomposition
 from repro.structures import COUNTER
 
 from .workloads import Workload, build_workloads
 
-__all__ = ["main", "run_all", "run_workload", "replay"]
+__all__ = ["main", "run_all", "run_workload", "run_autotuner", "replay"]
 
 TIERS = ("reference", "interpreted", "compiled")
 
@@ -49,24 +54,67 @@ def make_tier(tier: str, workload: Workload) -> RelationInterface:
 
 
 def replay(relation: RelationInterface, trace: List[tuple]) -> int:
-    """Apply every operation of *trace* to *relation*; returns the op count."""
-    insert = relation.insert
-    remove = relation.remove
-    update = relation.update
-    query = relation.query
-    for op in trace:
-        kind = op[0]
-        if kind == "insert":
-            insert(op[1])
-        elif kind == "remove":
-            remove(op[1])
-        elif kind == "update":
-            update(op[1], op[2])
-        elif kind == "query":
-            query(op[1], op[2])
-        else:  # pragma: no cover - trace generator bug
-            raise ValueError(f"unknown operation {kind!r}")
-    return len(trace)
+    """Apply every operation of *trace* to *relation*; returns the op count.
+
+    Delegates to the autotuner's shared loop so harness access counts and
+    autotuner scores stay comparable by construction.
+    """
+    return replay_operations(relation, trace)
+
+
+def run_autotuner(workload: Workload, verbose: bool = True) -> Dict:
+    """Tune *workload* from its own trace; report the winner vs hand layouts.
+
+    Every hand-written layout (the workload's primary plus its
+    ``alternatives``) is force-included in the exact replay phase, so the
+    report shows the synthesized winner's interpreted-tier access count
+    side by side with each of them — all on the identical trace.
+    """
+    hand_layouts = workload.hand_layouts()
+    result = autotune(
+        workload.spec,
+        Trace.from_workload(workload),
+        include=list(hand_layouts.values()),
+    )
+    by_shape = {canonical_shape(c.decomposition): c for c in result.replayed}
+    hand_report = {}
+    for name, layout in hand_layouts.items():
+        candidate = by_shape[canonical_shape(parse_decomposition(layout))]
+        hand_report[name] = {"layout": layout, "accesses": candidate.accesses}
+
+    # The winner also gets a compiled-tier instrumented replay, comparable
+    # with the hand layout's "compiled" tier accesses.
+    compiled_cls = result.compile_winner()
+    with COUNTER:
+        replay(compiled_cls(), workload.trace)
+        compiled_accesses = COUNTER.accesses
+
+    best_hand = min(hand_report.values(), key=lambda h: h["accesses"])
+    report = {
+        "layout": result.winner_layout,
+        "accesses": result.winner.accesses,
+        "compiled_accesses": compiled_accesses,
+        "candidates_enumerated": len(result.candidates),
+        "candidates_replayed": len(result.replayed),
+        "pareto": [
+            {"layout": c.layout, "accesses": c.accesses, "memory": c.memory}
+            for c in result.pareto
+        ],
+        "hand_written": hand_report,
+        "speedup_vs_best_hand": round(
+            best_hand["accesses"] / result.winner.accesses, 2
+        )
+        if result.winner.accesses
+        else None,
+    }
+    if verbose:
+        print(
+            f"  {'autotuned':12s} {report['accesses']:>12,d} accesses"
+            f"  ({report['speedup_vs_best_hand']}x best hand layout; "
+            f"{report['candidates_enumerated']} candidates)",
+            file=sys.stderr,
+        )
+    return report
 
 
 def run_workload(workload: Workload, verbose: bool = True) -> Dict:
@@ -124,7 +172,10 @@ def run_workload(workload: Workload, verbose: bool = True) -> Dict:
 
 
 def run_all(
-    quick: bool = False, names: Optional[List[str]] = None, verbose: bool = True
+    quick: bool = False,
+    names: Optional[List[str]] = None,
+    verbose: bool = True,
+    tune: bool = True,
 ) -> Dict:
     workloads = build_workloads(quick=quick, names=names)
     report: Dict = {
@@ -138,7 +189,10 @@ def run_all(
     for workload in workloads:
         if verbose:
             print(f"{workload.name}: {len(workload.trace)} ops", file=sys.stderr)
-        report["workloads"][workload.name] = run_workload(workload, verbose=verbose)
+        data = run_workload(workload, verbose=verbose)
+        if tune:
+            data["autotuned"] = run_autotuner(workload, verbose=verbose)
+        report["workloads"][workload.name] = data
     return report
 
 
@@ -151,7 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="small traces (CI smoke mode)"
     )
     parser.add_argument(
-        "--output", default="BENCH_2.json", help="where to write the JSON report"
+        "--output", default="BENCH_3.json", help="where to write the JSON report"
     )
     parser.add_argument(
         "--workloads",
@@ -159,10 +213,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="subset of workloads to run (default: all)",
     )
+    parser.add_argument(
+        "--skip-autotune",
+        action="store_true",
+        help="skip the autotuner column (faster; tiers only)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
-    report = run_all(quick=args.quick, names=args.workloads, verbose=not args.quiet)
+    report = run_all(
+        quick=args.quick,
+        names=args.workloads,
+        verbose=not args.quiet,
+        tune=not args.skip_autotune,
+    )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -173,5 +237,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"interpreted tier ({data['ops']} ops)",
                 file=sys.stderr,
             )
+            tuned = data.get("autotuned")
+            if tuned:
+                print(
+                    f"{name}: autotuned layout is {tuned['speedup_vs_best_hand']}x the "
+                    f"best hand-written layout ({tuned['accesses']:,d} accesses)",
+                    file=sys.stderr,
+                )
         print(f"wrote {args.output}", file=sys.stderr)
     return 0

@@ -22,7 +22,13 @@ Operation = PyTuple
 
 
 class Workload:
-    """A named spec + decomposition + seeded operation trace."""
+    """A named spec + decomposition + seeded operation trace.
+
+    ``alternatives`` are additional hand-written layouts for the same
+    specification: the autotuner column of the benchmark report replays the
+    trace on each of them so the synthesized winner is shown next to every
+    layout a developer might plausibly have written by hand.
+    """
 
     def __init__(
         self,
@@ -31,12 +37,20 @@ class Workload:
         spec: RelationSpec,
         layout: str,
         trace: List[Operation],
+        alternatives: Dict[str, str] = None,
     ):
         self.name = name
         self.description = description
         self.spec = spec
         self.layout = layout
         self.trace = trace
+        self.alternatives: Dict[str, str] = dict(alternatives or {})
+
+    def hand_layouts(self) -> Dict[str, str]:
+        """Every hand-written layout, keyed by display name (primary first)."""
+        layouts = {"primary": self.layout}
+        layouts.update(self.alternatives)
+        return layouts
 
     def __repr__(self) -> str:
         return f"Workload({self.name!r}, {len(self.trace)} ops)"
@@ -91,6 +105,10 @@ def scheduler(scale: int) -> Workload:
         spec,
         layout,
         trace,
+        alternatives={
+            "flat-htable": "ns, pid -> htable {state, cpu}",
+            "nested-trees": "ns -> btree pid -> btree {state, cpu}",
+        },
     )
 
 
@@ -137,6 +155,10 @@ def directed_graph(scale: int) -> Workload:
         spec,
         layout,
         trace,
+        alternatives={
+            "flat-htable": "src, dst -> htable {weight}",
+            "forward-only": "src -> htable dst -> htable {weight}",
+        },
     )
 
 
@@ -177,6 +199,7 @@ def spanning(scale: int) -> Workload:
         spec,
         layout,
         trace,
+        alternatives={"flat-htable": "node -> htable {comp}"},
     )
 
 

@@ -11,7 +11,10 @@ The library is layered like the paper:
 * :mod:`repro.structures` — the primitive container library backing map
   edges (Section 6);
 * :mod:`repro.codegen` — the performance tier: compile a decomposition
-  into a standalone specialised class (the paper's code generator).
+  into a standalone specialised class (the paper's code generator);
+* :mod:`repro.autotuner` — the synthesis loop (Section 5): record an
+  operation trace, enumerate adequate decompositions, score them against
+  the trace, and compile the winner (``synthesize(spec, trace)``).
 
 The most common entry points are re-exported here::
 
@@ -22,6 +25,7 @@ The most common entry points are re-exported here::
     processes.insert(t(ns=1, pid=42, state="running", cpu=0))
 """
 
+from .autotuner import Trace, TraceRecorder, autotune, enumerate_decompositions, synthesize
 from .codegen import compile_relation, generate_source
 from .core import (
     FDSet,
@@ -52,12 +56,17 @@ __all__ = [
     "Relation",
     "RelationInterface",
     "RelationSpec",
+    "Trace",
+    "TraceRecorder",
     "Tuple",
+    "autotune",
     "check_adequacy",
     "compile_relation",
+    "enumerate_decompositions",
     "generate_source",
     "is_adequate",
     "parse_decomposition",
+    "synthesize",
     "t",
     "__version__",
 ]

@@ -1,0 +1,110 @@
+"""Autotuner smoke CLI: tune a benchmark workload and verify the winner.
+
+Used by CI's bench job::
+
+    PYTHONPATH=src python -m repro.autotuner scheduler --quick
+
+Runs the full §5 loop against one workload from ``benchmarks/workloads.py``
+(which must be importable — run from the repository root), prints the
+scored candidate table, and exits non-zero unless
+
+* the winner's exact access count is strictly below the worst replayed
+  candidate's (the tuner is discriminating, not rubber-stamping), and
+* the winner is no worse than the workload's hand-written layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .trace import Trace
+from .tuner import autotune
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotuner",
+        description="Tune a benchmark workload and verify the winning layout.",
+    )
+    parser.add_argument("workload", help="workload name from benchmarks/workloads.py")
+    parser.add_argument(
+        "--quick", action="store_true", help="small trace (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=2, help="maximum map levels per path"
+    )
+    parser.add_argument(
+        "--exact-top",
+        type=int,
+        default=None,
+        help="candidates advancing to exact replay (default: the tuner's)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        from benchmarks.workloads import DEFAULT_SCALE, QUICK_SCALE, WORKLOADS
+    except ImportError:
+        print(
+            "cannot import benchmarks.workloads — run from the repository root "
+            "(the benchmarks/ package must be importable)",
+            file=sys.stderr,
+        )
+        return 2
+    builder = WORKLOADS.get(args.workload)
+    if builder is None:
+        print(
+            f"unknown workload {args.workload!r}; available: {sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    workload = builder(QUICK_SCALE if args.quick else DEFAULT_SCALE)
+    trace = Trace.from_workload(workload)
+    options = {"max_depth": args.max_depth, "include": [workload.layout]}
+    if args.exact_top is not None:
+        options["exact_top"] = args.exact_top
+    result = autotune(workload.spec, trace, **options)
+    print(result.describe())
+
+    failures = []
+    worst = result.replayed[-1]
+    if not (result.winner.accesses < worst.accesses):
+        failures.append(
+            f"winner ({result.winner.accesses:,d} accesses) does not beat the worst "
+            f"replayed candidate ({worst.accesses:,d})"
+        )
+    # The hand-written layout was passed via include, so it is in `replayed`.
+    from ..decomposition.parser import parse_decomposition
+    from .enumerator import canonical_shape
+
+    hand_shape = canonical_shape(parse_decomposition(workload.layout))
+    hand = next(
+        (c for c in result.replayed if canonical_shape(c.decomposition) == hand_shape),
+        None,
+    )
+    if hand is None:
+        failures.append("hand-written layout missing from the replayed candidates")
+    elif result.winner.accesses > hand.accesses:
+        failures.append(
+            f"winner ({result.winner.accesses:,d} accesses) is worse than the "
+            f"hand-written layout ({hand.accesses:,d})"
+        )
+    else:
+        print(
+            f"winner: {result.winner.accesses:,d} accesses vs hand-written "
+            f"{hand.accesses:,d} ({hand.accesses / max(1, result.winner.accesses):.2f}x)"
+        )
+
+    if failures:
+        print("\nAUTOTUNER SMOKE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("autotuner smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

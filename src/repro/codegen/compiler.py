@@ -67,11 +67,18 @@ def _default_class_name(decomposition_name: str) -> str:
 class _RelationCompiler:
     """Single-use compiler from one (spec, decomposition) pair to source."""
 
-    def __init__(self, spec: RelationSpec, decomposition: Decomposition, class_name: str):
+    def __init__(
+        self,
+        spec: RelationSpec,
+        decomposition: Decomposition,
+        class_name: str,
+        enforce_fds_default: bool = True,
+    ):
         check_adequacy(decomposition, spec)
         self.spec = spec
         self.decomposition = decomposition
         self.class_name = class_name
+        self.enforce_fds_default = enforce_fds_default
         self.cols = tuple(sorted(spec.columns))
         self.col_index = {c: i for i, c in enumerate(self.cols)}
         self.paths: List[Path] = decomposition.paths()
@@ -313,47 +320,28 @@ class _RelationCompiler:
             current = nvar
         em.pop(opened)
 
-    def _emit_conflict_scan(self) -> None:
-        """Collect rows sharing a unit binding with the new row but holding a
-        different residual (the structural FD conflicts) into ``_conf``."""
+    def _emit_fd_eviction(self) -> None:
+        """Collect every stored row FD-conflicting with the new row into
+        ``_conf`` and remove it — the last-writer-wins semantics of
+        ``enforce_fds=False``.  Driven by the specification's FDs (via the
+        compiled per-pattern query methods) rather than by unit-binding
+        collisions, which are layout-dependent: a fully-bound layout has
+        empty units yet must still agree with the other tiers."""
         em = self.em
         em.line("_conf = None")
-        for path in self.paths:
-            unit_cols = sorted(path.leaf.unit_columns)
-            if not unit_cols:
-                continue  # All columns bound: an equal binding is the row itself.
-            node = self.decomposition.root
-            current = "self._root"
-            opened = 0
-            for e, idx in zip(path.edges, path.edge_indices):
-                cexpr = self._container_expr(node, current, idx)
-                kexpr = self._key_expr(e, self._vexpr)
-                nvar = self._gensym("n")
-                self._emit_get(e, nvar, cexpr, kexpr)
-                em.line(f"if {nvar} is not _MISS:")
-                em.push()
-                opened += 1
-                node = e.child
-                current = nvar
-            residual = self._residual_expr(path.leaf, self._vexpr)
-            if opened:
-                # The last edge's guard ensures the leaf value is present.
-                em.line(f"if {current} != {residual}:")
-            else:  # Unit root: the instance itself may be empty (_MISS).
-                em.line(f"if {current} is not _MISS and {current} != {residual}:")
+        for fd in self.spec.fds:
+            rhs = sorted(fd.rhs)
+            em.line(f"for _m in {self._fd_query_call(fd.lhs, self._vexpr)}:")
             with em.indent():
-                em.line("if _conf is None:")
+                differs = " or ".join(
+                    f"_m[{self.col_index[c]}] != {self._vexpr(c)}" for c in rhs
+                )
+                em.line(f"if {differs}:")
                 with em.indent():
-                    em.line("_conf = set()")
-                row = []
-                for c in self.cols:
-                    if c in path.bound:
-                        row.append(self._vexpr(c))
-                    else:
-                        j = unit_cols.index(c)
-                        row.append(current if len(unit_cols) == 1 else f"{current}[{j}]")
-                em.line("_conf.add(" + self._tuple_literal(row) + ")")
-            em.pop(opened)
+                    em.line("if _conf is None:")
+                    with em.indent():
+                        em.line("_conf = set()")
+                    em.line("_conf.add(_m)")
         em.line("if _conf:")
         with em.indent():
             em.line("for _r in _conf:")
@@ -466,6 +454,7 @@ class _RelationCompiler:
             "from repro.core.spec import RelationSpec",
             "from repro.core.tuples import Tuple",
             "from repro.structures.base import COUNTER as _C",
+            "from repro.core.values import values_sort_key as _row_key",
             "",
             "_MISS = object()",
             f"_COLS = ({', '.join(repr(c) for c in self.cols)},)",
@@ -540,7 +529,7 @@ class _RelationCompiler:
         em = self.em
         root = self.decomposition.root
         literal = "_MISS" if root.is_unit else self._node_literal(root)
-        with em.block("def __init__(self, enforce_fds=True):"):
+        with em.block(f"def __init__(self, enforce_fds={self.enforce_fds_default!r}):"):
             em.line("self.spec = _SPEC")
             em.line("self.enforce_fds = enforce_fds")
             em.line(f"self._root = {literal}")
@@ -617,17 +606,18 @@ class _RelationCompiler:
         self._reset_symbols()
         with em.block("def _insert_row(self, row):"):
             em.docstring(
-                "Insert a full row; returns whether it was new.  Mirrors "
-                "DecompositionInstance.insert_tuple: when FDs are not "
-                "enforced, rows sharing a unit binding are first removed "
-                "from every branch (structural last-writer-wins)."
+                "Insert a full row; returns whether it was new.  When FDs "
+                "are not enforced, rows FD-conflicting with the new row are "
+                "first removed from every branch (last-writer-wins, per the "
+                "RelationInterface contract)."
             )
             em.line("en = _C.enabled")
             em.line(f"{self._row_unpack()} = row")
             self._emit_presence_check(["return False"])
-            em.line("if not self.enforce_fds:")
-            with em.indent():
-                self._emit_conflict_scan()
+            if list(self.spec.fds):
+                em.line("if not self.enforce_fds:")
+                with em.indent():
+                    self._emit_fd_eviction()
             self._emit_store_walk(self.decomposition.root, "self._root")
             em.line("self._count += 1")
             em.line("return True")
@@ -684,6 +674,11 @@ class _RelationCompiler:
             em.line("for r in victims:")
             with em.indent():
                 em.line("self._remove_row(r)")
+            em.line("if not self.enforce_fds:")
+            with em.indent():
+                # Canonical re-insertion order so colliding merges resolve
+                # to the same winner in every tier (RelationInterface).
+                em.line("merged.sort(key=_row_key)")
             em.line("for m in merged:")
             with em.indent():
                 em.line("self._insert_row(m)")
@@ -854,6 +849,7 @@ def generate_source(
     spec: RelationSpec,
     decomposition: Union[Decomposition, str],
     class_name: Optional[str] = None,
+    enforce_fds_default: bool = True,
 ) -> str:
     """Generate the source of a standalone compiled relation class.
 
@@ -861,17 +857,23 @@ def generate_source(
     (:class:`~repro.core.errors.AdequacyError` otherwise).  The returned
     module source depends only on stable ``repro`` entry points and can be
     written to a file, imported, diffed, or inspected.
+    ``enforce_fds_default`` becomes the generated constructor's default FD
+    mode — the autotuner compiles winners tuned on FD-off traces with an
+    FD-off default, so the class runs its own workload out of the box.
     """
     if isinstance(decomposition, str):
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
-    return _RelationCompiler(spec, decomposition, class_name).generate()
+    return _RelationCompiler(
+        spec, decomposition, class_name, enforce_fds_default
+    ).generate()
 
 
 def compile_relation(
     spec: RelationSpec,
     decomposition: Union[Decomposition, str],
     class_name: Optional[str] = None,
+    enforce_fds_default: bool = True,
 ) -> type:
     """Compile *decomposition* for *spec* into a relation class.
 
@@ -886,7 +888,7 @@ def compile_relation(
     if isinstance(decomposition, str):
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
-    source = generate_source(spec, decomposition, class_name)
+    source = generate_source(spec, decomposition, class_name, enforce_fds_default)
     module_name = f"repro.codegen.generated_{next(_generated_modules)}"
     namespace: Dict[str, object] = {"__name__": module_name}
     exec(compile(source, f"<{module_name}>", "exec"), namespace)

@@ -46,13 +46,40 @@ def coerce_tuple(value: Union[Tuple, Mapping, None]) -> Tuple:
 
 
 class RelationInterface(abc.ABC):
-    """Abstract mutable relation supporting the paper's five operations."""
+    """Abstract mutable relation supporting the paper's five operations.
+
+    **Functional-dependency semantics.**  Every implementation is
+    constructed with an ``enforce_fds`` flag and honours one shared
+    contract, so the tiers stay interchangeable in both modes:
+
+    * ``enforce_fds=True`` (the default): ``insert`` and ``update`` raise
+      :class:`~repro.core.errors.FunctionalDependencyError` rather than
+      perform an FD-violating operation, leaving the relation untouched —
+      the premise of the paper's Lemma 4, which only promises soundness for
+      FD-respecting operation sequences.
+    * ``enforce_fds=False``: operations never raise on FD conflicts.
+      Because a decomposition can only *hold* FD-satisfying relations
+      (Lemma 4 — a unit leaf stores one tuple per key binding), an
+      FD-violating ``insert`` instead **evicts** every stored tuple that
+      agrees with the new tuple on some FD's left-hand side but disagrees
+      on its right-hand side, then adds the new tuple (last-writer-wins).
+      A bulk ``update`` removes the matched tuples and re-inserts the
+      merged results in canonical (sorted) order under the same eviction
+      rule, so colliding merges resolve to the same winner in every tier.
+      The represented relation therefore *always* satisfies the
+      specification's FDs, in every implementation, in both modes.
+    """
 
     # -- operations ------------------------------------------------------------
 
     @abc.abstractmethod
     def insert(self, tup: Union[Tuple, Mapping]) -> None:
-        """Insert a full tuple into the relation."""
+        """Insert a full tuple into the relation.
+
+        Inserting an already-present tuple is a no-op.  On an FD conflict,
+        raises when ``enforce_fds`` is set, evicts the conflicting tuples
+        otherwise (see the class docstring).
+        """
 
     @abc.abstractmethod
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
@@ -60,7 +87,12 @@ class RelationInterface(abc.ABC):
 
     @abc.abstractmethod
     def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
-        """Apply *changes* to every tuple extending *pattern*."""
+        """Apply *changes* to every tuple extending *pattern*.
+
+        On an FD conflict, raises when ``enforce_fds`` is set (leaving the
+        relation untouched), resolves last-writer-wins in canonical order
+        otherwise (see the class docstring).
+        """
 
     @abc.abstractmethod
     def query(

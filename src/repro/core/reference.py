@@ -29,7 +29,13 @@ class ReferenceRelation(RelationInterface):
             raise :class:`FunctionalDependencyError` if the operation would
             violate the specification's functional dependencies — mirroring
             the premises of Lemma 4 in the paper, which only promises
-            soundness for FD-respecting operation sequences.
+            soundness for FD-respecting operation sequences.  When ``False``
+            the oracle mirrors the structural behaviour of the synthesized
+            representations instead: an FD-violating insert *evicts* the
+            conflicting tuples before adding the new one (last-writer-wins),
+            because a decomposition can only hold FD-satisfying relations
+            (Lemma 4) — see :class:`~repro.core.interface.RelationInterface`
+            for the full contract.
     """
 
     def __init__(self, spec: RelationSpec, enforce_fds: bool = True):
@@ -50,7 +56,31 @@ class ReferenceRelation(RelationInterface):
                 raise FunctionalDependencyError(
                     f"inserting {tup!r} would violate {violated!r}"
                 )
+        else:
+            self._evict_fd_conflicts(tup)
         self._tuples.add(tup)
+
+    def _evict_fd_conflicts(self, tup: Tuple) -> None:
+        """Remove every stored tuple that FD-conflicts with *tup*.
+
+        The last-writer-wins semantics of ``enforce_fds=False``: a
+        representation can only hold FD-satisfying relations (Lemma 4), so
+        before *tup* is added, any tuple agreeing with it on some FD's
+        left-hand side but disagreeing on its right-hand side is evicted —
+        exactly what a decomposition instance does structurally when a unit
+        binding is overwritten.
+        """
+        conflicts: Set[Tuple] = set()
+        for fd in self.spec.fds:
+            lhs_value = tup.project(fd.lhs)
+            rhs_value = tup.project(fd.rhs)
+            for existing in self._tuples:
+                if (
+                    existing.project(fd.lhs) == lhs_value
+                    and existing.project(fd.rhs) != rhs_value
+                ):
+                    conflicts.add(existing)
+        self._tuples -= conflicts
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
         pattern = coerce_tuple(pattern)
@@ -64,13 +94,27 @@ class ReferenceRelation(RelationInterface):
         self.spec.check_partial_tuple(changes, role="update changes")
         if not changes.columns:
             return
-        updated = {t.merge(changes) if t.extends(pattern) else t for t in self._tuples}
-        if self.enforce_fds and not self.spec.fds.satisfied_by(updated):
-            raise FunctionalDependencyError(
-                f"update with pattern {pattern!r} and changes {changes!r} would violate "
-                f"the specification's functional dependencies"
-            )
-        self._tuples = updated
+        if self.enforce_fds:
+            updated = {t.merge(changes) if t.extends(pattern) else t for t in self._tuples}
+            if not self.spec.fds.satisfied_by(updated):
+                raise FunctionalDependencyError(
+                    f"update with pattern {pattern!r} and changes {changes!r} would violate "
+                    f"the specification's functional dependencies"
+                )
+            self._tuples = updated
+        else:
+            # Structural semantics: remove the victims, then re-insert the
+            # merged tuples in canonical order, each insertion evicting its
+            # FD conflicts — so every tier resolves colliding merges to the
+            # same winner regardless of its container iteration order.
+            victims = [t for t in self._tuples if t.extends(pattern)]
+            if not victims:
+                return
+            merged = sorted({t.merge(changes) for t in victims}, key=Tuple.sort_key)
+            self._tuples.difference_update(victims)
+            for tup in merged:
+                self._evict_fd_conflicts(tup)
+                self._tuples.add(tup)
 
     def query(
         self,

@@ -28,13 +28,13 @@ a :class:`~repro.core.spec.RelationSpec` lives in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple as PyTuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple, Union
 
 from ..core.columns import ColumnSet, columns, format_columns
 from ..core.errors import DecompositionError
 from ..structures.registry import get_structure
 
-__all__ = ["MapEdge", "DecompNode", "Path", "Decomposition", "unit", "edge"]
+__all__ = ["MapEdge", "DecompNode", "Path", "Decomposition", "unit", "edge", "format_node"]
 
 
 class MapEdge:
@@ -287,17 +287,28 @@ class Decomposition:
         """Render the decomposition in the textual notation of
         :mod:`repro.decomposition.parser` (the rendering re-parses to an
         equivalent decomposition)."""
-        return _format_node(self.root)
+        return format_node(self.root)
 
     def __repr__(self) -> str:
         return f"Decomposition({self.name!r}, {self.describe()})"
 
 
-def _format_node(node: DecompNode) -> str:
+def format_node(
+    node: DecompNode, structure_name: Optional[Callable[[str], str]] = None
+) -> str:
+    """Render *node* (and its subtree) in the textual decomposition notation.
+
+    *structure_name* maps each edge's structure name for display — the
+    default renders names as written; the autotuner passes alias resolution
+    (for canonical dedup keys) or a constant (for structure-free shape
+    skeletons), so every rendering shares one formatter.
+    """
     if node.is_unit:
         return "{" + ", ".join(sorted(node.unit_columns)) + "}"
     rendered = [
-        f"{', '.join(sorted(e.key))} -> {e.structure} {_format_node(e.child)}"
+        f"{', '.join(sorted(e.key))} -> "
+        f"{structure_name(e.structure) if structure_name else e.structure} "
+        f"{format_node(e.child, structure_name)}"
         for e in node.edges
     ]
     if len(rendered) == 1:

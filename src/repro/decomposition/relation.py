@@ -41,10 +41,15 @@ class DecomposedRelation(RelationInterface):
             raise :class:`~repro.core.errors.FunctionalDependencyError`
             rather than perform an FD-violating operation, mirroring
             :class:`~repro.core.reference.ReferenceRelation`.  When
-            ``False``, an FD-violating insert silently replaces the
+            ``False``, an FD-violating insert silently evicts the
             conflicting tuples (last-writer-wins, in every branch) — the
             structural behaviour of the representation, which can only
-            hold FD-satisfying relations.
+            hold FD-satisfying relations; see
+            :class:`~repro.core.interface.RelationInterface` for the
+            cross-tier contract.  The eviction is driven by the
+            specification's FDs, not only by unit-binding collisions:
+            a fully-bound layout (empty units) has no structural
+            collisions, yet must still agree with the other tiers.
     """
 
     def __init__(
@@ -104,7 +109,25 @@ class DecomposedRelation(RelationInterface):
                         raise FunctionalDependencyError(
                             f"inserting {tup!r} would violate {fd!r}"
                         )
+        else:
+            self._evict_fd_conflicts(tup)
         self.instance.insert_tuple(tup)
+
+    def _evict_fd_conflicts(self, tup: Tuple) -> None:
+        """Remove every stored tuple FD-conflicting with *tup* (the
+        last-writer-wins semantics of ``enforce_fds=False``).
+
+        ``insert_tuple`` already displaces tuples sharing a *unit binding*,
+        but that structural notion depends on the layout — a fully-bound
+        decomposition has empty units and displaces nothing — so the
+        eviction is done here against the specification's FDs, keeping all
+        layouts and tiers in agreement.
+        """
+        for fd in self.spec.fds:
+            rhs_value = tup.project(fd.rhs)
+            for existing in self._matches(tup.project(fd.lhs)):
+                if existing.project(fd.rhs) != rhs_value:
+                    self.instance.remove_tuple(existing)
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
         pattern = coerce_tuple(pattern)
@@ -151,8 +174,16 @@ class DecomposedRelation(RelationInterface):
                             )
         for victim in victims:
             self.instance.remove_tuple(victim)
-        for tup in merged:
-            self.instance.insert_tuple(tup)
+        if self.enforce_fds:
+            for tup in merged:
+                self.instance.insert_tuple(tup)
+        else:
+            # Canonical re-insertion order: colliding merges must resolve
+            # to the same winner in every tier, independent of container
+            # iteration order (see RelationInterface).
+            for tup in sorted(dict.fromkeys(merged), key=Tuple.sort_key):
+                self._evict_fd_conflicts(tup)
+                self.instance.insert_tuple(tup)
 
     def query(
         self,

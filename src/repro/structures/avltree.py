@@ -79,9 +79,15 @@ def _rebalance(node: _AVLNode) -> _AVLNode:
 
 
 class AVLTreeMap(AssociativeContainer):
-    """Balanced ordered map keyed by tuple sort order."""
+    """Balanced ordered map keyed by tuple sort order.
 
-    NAME = "btree"
+    Registered as ``"avl"`` (what the container actually is); the historical
+    name ``"btree"`` — the paper's generic "balanced tree" — remains usable
+    everywhere as a registry alias, so existing decomposition strings keep
+    parsing.
+    """
+
+    NAME = "avl"
     ORDERED = True
     INTRUSIVE = False
     CODEGEN_STRATEGY = "tree"

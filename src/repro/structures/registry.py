@@ -20,15 +20,24 @@ from .vector import IndexedVectorMap, VectorMap
 
 __all__ = [
     "register_structure",
+    "register_alias",
     "get_structure",
+    "canonical_structure_name",
     "structure_names",
     "structure_cost",
     "size_class",
     "default_structure_names",
     "STRUCTURE_REGISTRY",
+    "STRUCTURE_ALIASES",
 ]
 
 STRUCTURE_REGISTRY: Dict[str, Type[AssociativeContainer]] = {}
+
+#: Alternative names resolving to a registered structure.  ``btree`` is the
+#: paper's generic "balanced tree"; the library's implementation is an AVL
+#: tree registered as ``avl``, and the alias keeps every existing
+#: decomposition string (and mapping file) parsing unchanged.
+STRUCTURE_ALIASES: Dict[str, str] = {}
 
 
 def register_structure(cls: Type[AssociativeContainer]) -> Type[AssociativeContainer]:
@@ -41,17 +50,48 @@ def register_structure(cls: Type[AssociativeContainer]) -> Type[AssociativeConta
         raise DecompositionError(
             f"container name {name!r} already registered by {existing.__name__}"
         )
+    alias_target = STRUCTURE_ALIASES.get(name)
+    if alias_target is not None and STRUCTURE_REGISTRY.get(alias_target) is not cls:
+        raise DecompositionError(
+            f"container name {name!r} already registered as an alias for {alias_target!r}"
+        )
     STRUCTURE_REGISTRY[name] = cls
     return cls
 
 
-def get_structure(name: str) -> Type[AssociativeContainer]:
-    """Look up a container class by name (``htable``, ``dlist``, ...)."""
-    try:
-        return STRUCTURE_REGISTRY[name]
-    except KeyError:
+def register_alias(alias: str, canonical: str) -> None:
+    """Make *alias* resolve to the registered structure *canonical*."""
+    if canonical not in STRUCTURE_REGISTRY:
         known = ", ".join(sorted(STRUCTURE_REGISTRY))
-        raise DecompositionError(f"unknown data structure {name!r}; known structures: {known}") from None
+        raise DecompositionError(
+            f"cannot alias {alias!r} to unregistered structure {canonical!r} "
+            f"(registered structures: {known})"
+        )
+    existing = STRUCTURE_REGISTRY.get(alias)
+    if existing is not None and existing is not STRUCTURE_REGISTRY[canonical]:
+        raise DecompositionError(
+            f"alias {alias!r} collides with the registered structure of the same name"
+        )
+    STRUCTURE_ALIASES[alias] = canonical
+
+
+def canonical_structure_name(name: str) -> str:
+    """Resolve aliases (``btree`` → ``avl``); canonical names pass through.
+
+    The autotuner deduplicates candidate decompositions by canonical shape,
+    so a layout written with ``btree`` and one written with ``avl`` count as
+    the same candidate.
+    """
+    resolved = STRUCTURE_ALIASES.get(name, name)
+    if resolved not in STRUCTURE_REGISTRY:
+        known = ", ".join(sorted(STRUCTURE_REGISTRY) + sorted(STRUCTURE_ALIASES))
+        raise DecompositionError(f"unknown data structure {name!r}; known structures: {known}")
+    return resolved
+
+
+def get_structure(name: str) -> Type[AssociativeContainer]:
+    """Look up a container class by name or alias (``htable``, ``avl``, ...)."""
+    return STRUCTURE_REGISTRY[canonical_structure_name(name)]
 
 
 def structure_names() -> List[str]:
@@ -102,7 +142,7 @@ def default_structure_names() -> List[str]:
     rather than surfacing later as an unknown-structure error deep inside
     decomposition construction.
     """
-    names = ["dlist", "ilist", "btree", "htable", "vector"]
+    names = ["dlist", "ilist", "avl", "htable", "vector"]
     unregistered = [name for name in names if name not in STRUCTURE_REGISTRY]
     if unregistered:
         known = ", ".join(sorted(STRUCTURE_REGISTRY))
@@ -116,3 +156,5 @@ def default_structure_names() -> List[str]:
 
 for _cls in (DListMap, IntrusiveListMap, HashTableMap, AVLTreeMap, VectorMap, IndexedVectorMap):
     register_structure(_cls)
+
+register_alias("btree", "avl")

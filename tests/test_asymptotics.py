@@ -176,4 +176,8 @@ class TestUpdateLocality:
                 return counter.accesses
 
         small, large = accesses_at(32), accesses_at(256)
-        assert large <= small * 2  # O(1)-ish, was O(n) before the fix.
+        # O(1)-ish (was O(n) ≈ hundreds before the fix).  An absolute slack
+        # rather than a ratio: the counts are single digits, and hash-table
+        # chain layouts add a few probes of jitter under unlucky
+        # PYTHONHASHSEEDs, which a 2x ratio on ~4 accesses cannot absorb.
+        assert large <= small + 8

@@ -151,19 +151,42 @@ class TestRegistry:
             assert name in STRUCTURE_REGISTRY
 
     def test_default_names_fail_loudly_when_renamed(self, monkeypatch):
-        # Simulate a rename (btree -> avltree): the default list must now
+        # Simulate a rename (avl -> avltree): the default list must now
         # fail at call time instead of surfacing later as an unknown
         # structure deep inside decomposition construction.
-        monkeypatch.delitem(STRUCTURE_REGISTRY, "btree")
+        monkeypatch.delitem(STRUCTURE_REGISTRY, "avl")
         with pytest.raises(DecompositionError, match="default structure names"):
             default_structure_names()
 
     def test_register_rejects_duplicate_names(self):
         class Impostor(AVLTreeMap):
-            NAME = "btree"
+            NAME = "avl"
 
         with pytest.raises(DecompositionError, match="already registered"):
             register_structure(Impostor)
+
+    def test_register_rejects_alias_collisions(self):
+        class Impostor(AVLTreeMap):
+            NAME = "btree"
+
+        with pytest.raises(DecompositionError, match="already registered as an alias"):
+            register_structure(Impostor)
+
+    def test_btree_alias_resolves_to_avl(self):
+        from repro.structures.registry import canonical_structure_name
+
+        assert AVLTreeMap.NAME == "avl"
+        assert get_structure("btree") is AVLTreeMap
+        assert get_structure("avl") is AVLTreeMap
+        assert canonical_structure_name("btree") == "avl"
+        assert canonical_structure_name("avl") == "avl"
+        assert "avl" in STRUCTURE_REGISTRY and "btree" not in STRUCTURE_REGISTRY
+        # Decomposition strings written with either name keep parsing.
+        from repro.decomposition import parse_decomposition
+
+        for name in ("btree", "avl"):
+            parsed = parse_decomposition(f"ns, pid -> {name} {{state, cpu}}")
+            assert parsed.root.edges[0].structure_class() is AVLTreeMap
 
     def test_register_requires_name(self):
         from repro.structures import AssociativeContainer
