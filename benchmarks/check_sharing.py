@@ -1,0 +1,80 @@
+"""Fail CI unless node sharing pays off on the remove-heavy workload.
+
+The §3 acceptance gate: on the ``scheduler_churn`` trace (dominated by
+remove + re-insert through the per-state lists), the shared-record layout
+(one record object, intrusive O(1) unlink) must beat the per-branch-copy
+layout (one record copy per branch, linear victim scans) on deterministic
+:class:`~repro.structures.base.OperationCounter` access counts.  Both
+layouts are replayed on the identical trace by the benchmark harness's
+autotuner column (``hand_written``), so the comparison is machine- and
+timing-independent.
+
+Usage::
+
+    python benchmarks/check_sharing.py BENCH_4.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Workload the gate reads, and the hand-layout keys it compares.
+WORKLOAD = "scheduler_churn"
+SHARED_KEY = "primary"  # The churn workload's primary layout is the shared one.
+COPIED_KEY = "copied-2branch"
+
+
+def check(report: dict) -> list:
+    failures = []
+    workload = report.get("workloads", {}).get(WORKLOAD)
+    if workload is None:
+        return [f"workload {WORKLOAD!r} missing from the report"]
+    hand = (workload.get("autotuned") or {}).get("hand_written") or {}
+    shared = hand.get(SHARED_KEY)
+    copied = hand.get(COPIED_KEY)
+    if shared is None or copied is None:
+        return [
+            f"{WORKLOAD}: hand-layout replays missing ({SHARED_KEY!r} and "
+            f"{COPIED_KEY!r} required; was the harness run with --skip-autotune?)"
+        ]
+    if "where" not in shared.get("layout", ""):
+        failures.append(
+            f"{WORKLOAD}/{SHARED_KEY}: layout {shared.get('layout')!r} is not a "
+            f"shared-node layout (no 'where' clause)"
+        )
+    if shared["accesses"] >= copied["accesses"]:
+        failures.append(
+            f"{WORKLOAD}: shared layout ({shared['accesses']:,d} accesses) does "
+            f"not beat the per-branch-copy layout ({copied['accesses']:,d}) on "
+            f"the remove-heavy trace — the O(1) unlink advantage is gone"
+        )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        report = json.load(handle)
+    workload = report.get("workloads", {}).get(WORKLOAD, {})
+    hand = (workload.get("autotuned") or {}).get("hand_written") or {}
+    for name, entry in sorted(hand.items()):
+        print(f"{WORKLOAD}/{name:<16} {entry['accesses']:>14,d} accesses  {entry['layout']}")
+    failures = check(report)
+    if failures:
+        print("\nSHARING GATE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    shared, copied = hand[SHARED_KEY]["accesses"], hand[COPIED_KEY]["accesses"]
+    print(
+        f"\nsharing gate passed: shared layout is "
+        f"{copied / max(1, shared):.2f}x cheaper than the per-branch copy"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

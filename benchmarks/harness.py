@@ -14,7 +14,7 @@ the same operation trace, and records:
   winner's access count next to every hand-written layout replayed on the
   same trace (``--skip-autotune`` drops the column).
 
-Results are written as JSON (``BENCH_3.json`` by convention at the repo
+Results are written as JSON (``BENCH_4.json`` by convention at the repo
 root); ``benchmarks/baseline.json`` holds the checked-in baseline used by
 ``benchmarks/check_regression.py``.
 """
@@ -205,7 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="small traces (CI smoke mode)"
     )
     parser.add_argument(
-        "--output", default="BENCH_3.json", help="where to write the JSON report"
+        "--output", default="BENCH_4.json", help="where to write the JSON report"
     )
     parser.add_argument(
         "--workloads",

@@ -14,7 +14,14 @@ from typing import Callable, Dict, List, Tuple as PyTuple
 
 from repro.core import RelationSpec, Tuple
 
-__all__ = ["Operation", "Workload", "WORKLOADS", "build_workloads"]
+__all__ = [
+    "Operation",
+    "Workload",
+    "WORKLOADS",
+    "build_workloads",
+    "SHARED_SCHEDULER_LAYOUT",
+    "COPIED_SCHEDULER_LAYOUT",
+]
 
 #: ("insert", tuple) | ("remove", pattern) | ("update", pattern, changes)
 #: | ("query", pattern, output-or-None)
@@ -108,6 +115,70 @@ def scheduler(scale: int) -> Workload:
         alternatives={
             "flat-htable": "ns, pid -> htable {state, cpu}",
             "nested-trees": "ns -> btree pid -> btree {state, cpu}",
+            "shared-records": SHARED_SCHEDULER_LAYOUT,
+        },
+    )
+
+
+#: The §3 shared-record layout: one process record object reached from both
+#: the primary-key index and the per-state lists, with intrusive O(1)
+#: unlink on removal (decomposition 5 of the paper's Figure 12 family).
+SHARED_SCHEDULER_LAYOUT = (
+    "[ns, pid -> htable (state -> htable @rec)"
+    " ; state -> htable (ns, pid -> ilist @rec)] where @rec = {cpu}"
+)
+
+#: The per-branch-copy twin of the shared layout: the same two indexes, but
+#: every branch materialises its own copy of the record, so a removal pays
+#: a per-state-list victim scan instead of an O(1) unlink.
+COPIED_SCHEDULER_LAYOUT = (
+    "[ns, pid -> htable {state, cpu}"
+    " ; state -> htable (ns, pid -> dlist {cpu})]"
+)
+
+
+def scheduler_churn(scale: int) -> Workload:
+    """Remove-heavy scheduler churn: the shared-record layout's home turf.
+
+    Processes constantly exit and respawn (remove + insert by primary key)
+    while the per-state lists stay hot.  On the copied layout every exit
+    scans the victim's state list twice (lookup + unlink); on the shared
+    layout the record is one object unlinked in O(1) from the intrusive
+    list — the access-count gap the CI sharing gate pins.
+    """
+    spec = RelationSpec(
+        "ns, pid, state, cpu",
+        fds=["ns, pid -> state, cpu"],
+        name="process",
+    )
+    rng = random.Random(0x5EED4)
+    states = ["running", "sleeping", "waiting"]
+    processes = [(ns, pid) for ns in range(max(2, scale // 50)) for pid in range(50)]
+    trace: List[Operation] = [
+        ("insert", Tuple(ns=ns, pid=pid, state=rng.choice(states), cpu=rng.randrange(4)))
+        for ns, pid in processes
+    ]
+    for _ in range(scale * 10):
+        ns, pid = rng.choice(processes)
+        roll = rng.random()
+        if roll < 0.7:  # Process exit and re-spawn: the dominant operation.
+            trace.append(("remove", Tuple(ns=ns, pid=pid)))
+            trace.append(
+                ("insert", Tuple(ns=ns, pid=pid, state=rng.choice(states), cpu=rng.randrange(4)))
+            )
+        elif roll < 0.85:
+            trace.append(("query", Tuple(state=rng.choice(states)), "ns, pid"))
+        else:
+            trace.append(("query", Tuple(ns=ns, pid=pid), "state, cpu"))
+    return Workload(
+        "scheduler_churn",
+        "remove-heavy scheduler churn: shared records vs per-branch copies (§3)",
+        spec,
+        SHARED_SCHEDULER_LAYOUT,
+        trace,
+        alternatives={
+            "copied-2branch": COPIED_SCHEDULER_LAYOUT,
+            "flat-htable": "ns, pid -> htable {state, cpu}",
         },
     )
 
@@ -205,6 +276,7 @@ def spanning(scale: int) -> Workload:
 
 WORKLOADS: Dict[str, Callable[[int], Workload]] = {
     "scheduler": scheduler,
+    "scheduler_churn": scheduler_churn,
     "graph": directed_graph,
     "spanning": spanning,
 }

@@ -18,20 +18,32 @@ construction**:
   also offered standalone;
 * **2-branch variants** — every primary single-path layout over a minimal
   key paired with every secondary index path, sharing the root (the
-  paper's branching decompositions: one tuple stored once per branch).
+  paper's branching decompositions: one tuple stored once per branch);
+* **shared-node variants** (Section 3's shared sub-nodes) — for each
+  minimal key ``K`` and workload pattern ``P``, the two branches
+  ``K → (P \\ K) → @u`` and ``(P \\ K) → K → @u`` *converging on one
+  shared unit* ``@u = C \\ (K ∪ P)``: the paper's scheduler records,
+  reached from both the primary-key index and the per-``P`` lists, stored
+  once and unlinked in O(1) by intrusive containers.
 
 Each shape is instantiated once per **structure assignment**: one container
 choice per edge, drawn from :func:`~repro.structures.registry.default_structure_names`
 (or a caller-supplied list) collapsed to one representative per *cost
-model* — containers whose ``m_ψ(n)``/scan costs are identical (``dlist``,
-``ilist``, ``vector``) produce indistinguishable scores, so enumerating
-more than one of them would only multiply the space.  Candidates are
-deduplicated by canonical shape (structure aliases such as ``btree``
-resolve to their canonical names first).
+class*.  ``dlist`` and ``ilist`` share lookup/scan cost curves, so for
+ordinary edges ``dlist`` stands in for both — but on edges **into a shared
+node** intrusiveness is behaviourally meaningful (O(1) unlink vs. a linear
+victim scan), so there ``ilist`` is offered as an additional choice.
+``ilist`` is never proposed on a non-shared edge, where it could not be
+distinguished from ``dlist``; ``vector`` has its own cost curve (``n/4``
+contiguous probes vs. ``n/2`` pointer chasing) and therefore its own class.
+Candidates are deduplicated by canonical shape (structure aliases such as
+``btree`` resolve to their canonical names first; sharing is part of the
+shape, so a shared layout never collides with its per-branch-copy twin).
 
-What the enumerator deliberately does **not** explore (see ROADMAP): node
-sharing across branches, depth beyond ``max_depth``, and cross-branch join
-plans.
+What the enumerator deliberately does **not** explore (see ROADMAP):
+≥3-branch layouts, depth beyond ``max_depth``, shared *map* sub-nodes
+(only shared unit leaves are enumerated; the instance/codegen layers
+support the general case), and key partitions inside shared variants.
 """
 
 from __future__ import annotations
@@ -43,7 +55,7 @@ from ..core.columns import ColumnSet, columns
 from ..core.errors import AutotunerError
 from ..core.spec import RelationSpec
 from ..decomposition.adequacy import check_adequacy
-from ..decomposition.model import Decomposition, DecompNode, MapEdge, format_node
+from ..decomposition.model import Decomposition, DecompNode, MapEdge, format_decomposition
 from ..structures.registry import (
     canonical_structure_name,
     default_structure_names,
@@ -68,9 +80,11 @@ def canonical_shape(decomposition: Decomposition) -> str:
 
     :meth:`Decomposition.describe` with structure aliases resolved
     (``btree`` → ``avl``), so a layout written with either name maps to the
-    same key.
+    same key.  Node sharing is part of the key (shared nodes render as
+    ``@name`` references), so a shared layout and its per-branch-copy twin
+    are distinct candidates.
     """
-    return format_node(decomposition.root, canonical_structure_name)
+    return format_decomposition(decomposition.root, canonical_structure_name)
 
 
 def shape_skeleton(decomposition: Decomposition) -> str:
@@ -81,7 +95,7 @@ def shape_skeleton(decomposition: Decomposition) -> str:
     cost-tied same-shape variants cannot crowd every *different* shape out
     of the replay phase.
     """
-    return format_node(decomposition.root, lambda _name: "?")
+    return format_decomposition(decomposition.root, lambda _name: "?")
 
 
 def representative_structures(names: Optional[Sequence[str]] = None) -> List[str]:
@@ -90,7 +104,11 @@ def representative_structures(names: Optional[Sequence[str]] = None) -> List[str
     Containers with identical lookup/scan cost curves (sampled at a few
     sizes) are indistinguishable to both scoring phases, so only the first
     of each group is kept — e.g. the default library's ``dlist`` stands in
-    for ``ilist`` and ``vector``.
+    for ``ilist`` on ordinary edges (``vector`` has its own curve, ``n/4``,
+    and keeps its own class).  Intrusiveness is *not* part of the curve:
+    on edges into a shared node, where O(1) unlink is behaviourally
+    meaningful, the enumerator re-adds ``ilist`` as an extra choice
+    (:data:`SHARED_EDGE_EXTRAS`) rather than collapsing it here.
     """
     if names is None:
         names = default_structure_names()
@@ -137,6 +155,13 @@ def _ordered_partitions(cols: ColumnSet, max_groups: int) -> Iterator[PyTuple[Co
             yield (first,) + tail
 
 
+#: Extra container choices offered on edges whose child is a shared node,
+#: where intrusiveness is behaviourally meaningful (O(1) unlink of a record
+#: both branches hold by reference) — never on ordinary edges, where these
+#: structures are cost-indistinguishable from their representative.
+SHARED_EDGE_EXTRAS = ("ilist",)
+
+
 def _build_branch(shape: PathShape, structures: Sequence[str]) -> MapEdge:
     """Build one root edge chaining the shape's key groups down to its unit."""
     groups, unit_cols = shape
@@ -144,6 +169,26 @@ def _build_branch(shape: PathShape, structures: Sequence[str]) -> MapEdge:
     for key, structure in zip(reversed(groups), reversed(list(structures))):
         node = DecompNode(edges=(MapEdge(key, structure, node),))
     return node.edges[0]
+
+
+def _build_shared_root(
+    key_set: ColumnSet,
+    pattern: ColumnSet,
+    unit_cols: ColumnSet,
+    structures: Sequence[str],
+) -> DecompNode:
+    """Two branches converging on one shared unit leaf.
+
+    ``structures`` is ``(sA1, sA2, sB1, sB2)``: branch A is
+    ``K -sA1-> (P -sA2-> @u)``, branch B is ``P -sB1-> (K -sB2-> @u)``;
+    both reach ``@u`` with bound columns ``K ∪ P``, so the shared node has
+    a single type and instances materialise one record per binding.
+    """
+    a1, a2, b1, b2 = structures
+    shared = DecompNode(unit_columns=unit_cols)
+    branch_a = MapEdge(key_set, a1, DecompNode(edges=(MapEdge(pattern, a2, shared),)))
+    branch_b = MapEdge(pattern, b1, DecompNode(edges=(MapEdge(key_set, b2, shared),)))
+    return DecompNode(edges=(branch_a, branch_b))
 
 
 def _shape_edge_count(shapes: Sequence[PathShape]) -> int:
@@ -183,6 +228,12 @@ def enumerate_decompositions(
     reps = representative_structures(structures)
     if not reps:
         raise AutotunerError("no candidate structures to assign to map edges")
+    #: Every structure the caller actually allows (canonicalised) — the
+    #: shared-edge extras are drawn from this set, never beyond it.
+    allowed = {
+        canonical_structure_name(name)
+        for name in (structures if structures is not None else default_structure_names())
+    }
 
     minimal_keys = [k for k in spec.minimal_keys() if k]
     pattern_sets: List[ColumnSet] = []
@@ -261,6 +312,42 @@ def enumerate_decompositions(
             decompositions.append(decomposition)
         return True
 
+    def emit_shared() -> bool:
+        """Instantiate the shared-node 2-branch variants (one per minimal
+        key × non-key workload pattern × structure assignment); edges into
+        the shared unit additionally offer the intrusive choices."""
+        nonlocal truncated
+        if max_depth < 2:
+            return True
+        shared_extras = [
+            canonical
+            for canonical in (canonical_structure_name(n) for n in SHARED_EDGE_EXTRAS)
+            if canonical in allowed and canonical not in reps
+        ]
+        into_shared = reps + shared_extras
+        for key_set in minimal_keys:
+            for pattern in pattern_sets:
+                effective = pattern - key_set
+                if not effective or spec.fds.is_key(pattern, cols):
+                    continue
+                unit_cols = cols - (key_set | effective)
+                for assignment in product(reps, into_shared, reps, into_shared):
+                    if max_candidates is not None and len(decompositions) >= max_candidates:
+                        truncated = True
+                        return False
+                    a1, a2, b1, b2 = assignment
+                    root = _build_shared_root(
+                        key_set, effective, unit_cols, (a1, a2, b1, b2)
+                    )
+                    decomposition = Decomposition(root, name=f"auto{len(decompositions)}")
+                    key = canonical_shape(decomposition)
+                    if key in seen_shapes:
+                        continue
+                    check_adequacy(decomposition, spec)  # Adequate by construction.
+                    seen_shapes.add(key)
+                    decompositions.append(decomposition)
+        return True
+
     for shape in single_shapes:
         if not emit([shape]):
             break
@@ -273,6 +360,8 @@ def enumerate_decompositions(
                     break
             if truncated:
                 break
+    if not truncated:
+        emit_shared()
 
     if not decompositions:
         raise AutotunerError(

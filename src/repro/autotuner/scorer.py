@@ -41,14 +41,24 @@ class ScoredCandidate:
     """A candidate decomposition with its scores.
 
     ``accesses`` is ``None`` until the candidate survives static pruning and
-    is replayed exactly.
+    is replayed exactly.  ``static_scaled`` is the tie-break score: the
+    static estimate recomputed at scaled-up container sizes (see
+    ``tuner.TIEBREAK_SIZE_SCALE``), which separates flavours whose costs
+    coincide at the trace's own small sizes.
     """
 
-    __slots__ = ("decomposition", "static", "memory", "accesses")
+    __slots__ = ("decomposition", "static", "static_scaled", "memory", "accesses")
 
-    def __init__(self, decomposition: Decomposition, static: float, memory: int):
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        static: float,
+        memory: int,
+        static_scaled: Optional[float] = None,
+    ):
         self.decomposition = decomposition
         self.static = static
+        self.static_scaled = static if static_scaled is None else static_scaled
         self.memory = memory
         self.accesses: Optional[int] = None
 
@@ -65,15 +75,21 @@ class ScoredCandidate:
 
 
 def memory_proxy(decomposition: Decomposition) -> int:
-    """Per-tuple storage cost proxy: map entries stored per represented tuple.
+    """Per-tuple storage cost proxy: container entries plus residual fields.
 
-    Each root-to-leaf path stores every tuple once, paying one container
-    entry per edge — so the total edge count across paths approximates the
-    representation's space overhead (the second Pareto axis; the paper uses
-    measured heap size, which a Python reproduction cannot compare
-    meaningfully across container kinds).
+    Every *distinct* edge stores one container entry per represented tuple
+    and every *distinct* unit leaf stores its residual columns once — so
+    the proxy is ``(# distinct edges) + Σ |unit columns|`` over distinct
+    leaves (the second Pareto axis; the paper uses measured heap size,
+    which a Python reproduction cannot compare meaningfully across
+    container kinds).  Counting nodes once by identity is what lets shared
+    layouts win the memory axis: a record shared by two branches pays its
+    residual once, while the per-branch-copy twin pays it per branch.
     """
-    return sum(len(path.edges) for path in decomposition.paths())
+    nodes = decomposition.nodes()
+    edges = sum(len(node.edges) for node in nodes)
+    residuals = sum(len(node.unit_columns) for node in nodes if node.is_unit)
+    return edges + residuals
 
 
 def estimate_edge_sizes(
@@ -100,21 +116,40 @@ def estimate_edge_sizes(
     return sizes
 
 
-def static_cost(decomposition: Decomposition, profile: TraceProfile) -> float:
+def static_cost(
+    decomposition: Decomposition, profile: TraceProfile, size_scale: float = 1.0
+) -> float:
     """Estimated total accesses for a trace profile on *decomposition*.
 
     Each edge's container size is estimated from the trace's distinct-value
     statistics (:func:`estimate_edge_sizes`) and fed through the planner's
     live-size cost machinery; queries are charged their cheapest plan,
-    inserts one lookup per edge (every branch stores the tuple), removes and
-    updates their pattern's plan plus the per-edge mutation cost for one
-    victim (updates twice: remove + re-insert).  The estimate only has to
-    *rank* candidates well enough that the exact replay phase sees the
-    contenders.
+    inserts and removes the per-edge mutation cost for one victim on every
+    edge (every branch stores the tuple), removes and updates additionally
+    their pattern's plan (updates twice: remove + re-insert).  On an edge
+    whose child is **shared**, the mutation cost is the structure's
+    ``unlink`` cost instead of its lookup cost — the record is held by
+    reference, so an intrusive container links/unlinks it in O(1) where a
+    plain list would pay a victim scan.  The estimate only has to *rank*
+    candidates well enough that the exact replay phase sees the contenders.
+
+    *size_scale* multiplies every estimated container size — the tuner's
+    tie-break recomputes the estimate at inflated sizes, separating
+    flavours whose costs coincide at the trace's own (often tiny) sizes.
     """
     sizes = estimate_edge_sizes(decomposition, profile)
+    if size_scale != 1.0:
+        sizes = {e: n * size_scale for e, n in sizes.items()}
+    parent_counts = decomposition.parent_counts()
     edges: List[MapEdge] = [e for node in decomposition.nodes() for e in node.edges]
-    touch_all_edges = sum(structure_cost(e.structure, sizes[e], "lookup") for e in edges)
+    touch_all_edges = sum(
+        structure_cost(
+            e.structure,
+            sizes[e],
+            "unlink" if parent_counts.get(id(e.child), 0) >= 2 else "lookup",
+        )
+        for e in edges
+    )
 
     plan_costs: Dict[frozenset, float] = {}
 

@@ -30,8 +30,20 @@ DEFAULT_EXACT_TOP = 16
 
 #: Within the exact-replay beam, at most this many candidates sharing one
 #: structure-free skeleton: static cost ties between container flavours of
-#: the same shape must not crowd out genuinely different shapes.
+#: the same shape must not crowd out genuinely different shapes.  Flavours
+#: inside a tied block are ordered by the scaled-size tie-break (see
+#: :data:`TIEBREAK_SIZE_SCALE`), so the two slots go to the flavours that
+#: scale best, not to the lexicographically first.
 MAX_PER_SKELETON = 2
+
+#: When two candidates' static costs tie at the trace-estimated container
+#: sizes (common for small traces, where every per-key container rounds to
+#: a handful of entries and the cost models floor at one access), the tie
+#: is broken by re-costing with every estimated size multiplied by this
+#: factor — preferring the flavour whose asymptotics survive growth (a
+#: hash or intrusive edge over a linear scan), which is also the flavour
+#: the exact replay phase tends to crown.
+TIEBREAK_SIZE_SCALE = 8.0
 
 
 class TuningResult:
@@ -190,10 +202,38 @@ def autotune(
         max_candidates=max_candidates,
     )
 
-    candidates = [
-        ScoredCandidate(d, static_cost(d, profile), memory_proxy(d)) for d in enumerated
-    ]
-    candidates.sort(key=lambda c: (c.static, c.memory, canonical_shape(c.decomposition)))
+    def score(decomposition: Decomposition) -> ScoredCandidate:
+        return ScoredCandidate(
+            decomposition, static_cost(decomposition, profile), memory_proxy(decomposition)
+        )
+
+    def rank(candidate: ScoredCandidate) -> tuple:
+        return (
+            candidate.static,
+            candidate.static_scaled,
+            candidate.memory,
+            canonical_shape(candidate.decomposition),
+        )
+
+    def apply_tiebreaks(pool: List[ScoredCandidate]) -> None:
+        """Compute the scaled tie-break score, lazily: only candidates whose
+        primary static cost ties with another's can be reordered by it, so
+        singletons keep the default (``static_scaled == static``) and skip
+        the second full static evaluation."""
+        groups: dict = {}
+        for candidate in pool:
+            groups.setdefault(candidate.static, []).append(candidate)
+        for group in groups.values():
+            if len(group) < 2:
+                continue
+            for candidate in group:
+                candidate.static_scaled = static_cost(
+                    candidate.decomposition, profile, size_scale=TIEBREAK_SIZE_SCALE
+                )
+
+    candidates = [score(d) for d in enumerated]
+    apply_tiebreaks(candidates)
+    candidates.sort(key=rank)
 
     # Static pruning: the top of the static ranking advances — diversified
     # so at most MAX_PER_SKELETON same-shape container flavours occupy beam
@@ -219,12 +259,13 @@ def autotune(
         known_shapes.add(shape)
         candidate = by_shape.get(shape)
         if candidate is None:
-            candidate = ScoredCandidate(extra, static_cost(extra, profile), memory_proxy(extra))
+            candidate = score(extra)
             candidates.append(candidate)
         advancing.append(candidate)
 
     # Included layouts were appended above; keep the candidate ranking sorted.
-    candidates.sort(key=lambda c: (c.static, c.memory, canonical_shape(c.decomposition)))
+    apply_tiebreaks(candidates)
+    candidates.sort(key=rank)
 
     for candidate in advancing:
         candidate.accesses = exact_accesses(

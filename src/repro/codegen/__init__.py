@@ -24,7 +24,7 @@ compiled       ``compile_relation(spec, d)()``     straight-line specialised
 =============  ==================================  =========================
 
 ``benchmarks/`` drives all three through identical traces and records the
-resulting throughput and operation counts in ``BENCH_3.json``.
+resulting throughput and operation counts in ``BENCH_4.json``.
 """
 
 from .compiler import MAX_ENUMERATED_COLUMNS, compile_relation, generate_source

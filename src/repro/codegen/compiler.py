@@ -20,10 +20,23 @@ methods are straight-line code specialised to one decomposition:
 Containers are lowered according to each structure's ``CODEGEN_STRATEGY``:
 hash-like structures become Python dicts charged one access per probe,
 tree-like structures become dicts charged ``log2(n)`` accesses (the cost
-model of a balanced tree), and list-like structures become real entry lists
-with linear search — so compiled list layouts keep honest asymptotics and
-:class:`~repro.structures.base.OperationCounter` numbers remain comparable
-across the interpreted and compiled tiers.
+model of a balanced tree), list-like structures become real entry lists
+with linear search, and intrusive structures (``ilist``) become dicts with
+list-honest charging — key *searches* cost ``n`` accesses, but linking a
+known-new entry and unlinking a held entry cost 1 — so compiled layouts
+keep honest asymptotics and :class:`~repro.structures.base.OperationCounter`
+numbers remain comparable across the interpreted and compiled tiers.
+
+**Shared sub-nodes** (Section 3) lower to genuinely shared objects: each
+shared node gets a per-class registry dict mapping its bound-column binding
+to one cell (``[residual]`` for unit leaves, the container literal for map
+nodes) that every parent container references.  Inserts create the cell
+once and link it into each branch; removals decide the hit once against
+the registry and then unlink the same object from every parent with an
+unrolled, constant-time delete per intrusive branch — no per-branch victim
+scans and no per-branch copies.  The registry mirrors the interpreted
+tier's shared-node registry and is likewise not charged to the counter
+(it models the record pointer generated C++ would already hold).
 
 The generated source is self-contained: it imports only stable ``repro``
 entry points, reconstructs its specification literally, and can be written
@@ -82,6 +95,15 @@ class _RelationCompiler:
         self.cols = tuple(sorted(spec.columns))
         self.col_index = {c: i for i, c in enumerate(self.cols)}
         self.paths: List[Path] = decomposition.paths()
+        #: Shared sub-nodes (≥ 2 parent edges) in pre-order; each gets a
+        #: registry attribute ``self._s<j>`` on the generated class mapping
+        #: the node's bound-column binding to its unique cell object.
+        self.shared_nodes: List[DecompNode] = decomposition.shared_nodes()
+        self.shared_index = {id(node): j for j, node in enumerate(self.shared_nodes)}
+        self.shared_bound_cols = {
+            id(node): tuple(sorted(decomposition.shared_bound(node)))
+            for node in self.shared_nodes
+        }
         self.em = Emitter()
         self._symbols = 0
 
@@ -140,12 +162,38 @@ class _RelationCompiler:
         alive = " or ".join(f"{inst_expr}[{i}]" for i in range(len(node.edges)))
         return f"not ({alive})"
 
-    def _emit_access_count(self, edge: MapEdge, cexpr: str, scan: bool = False) -> None:
+    def _is_shared(self, node: DecompNode) -> bool:
+        return id(node) in self.shared_index
+
+    def _bk_expr(self, node: DecompNode, val: Callable[[str], str]) -> str:
+        """The registry key of a shared node: a tuple over its sorted bound
+        columns (always a tuple, even for one column, so well-formedness
+        checks can index into it positionally)."""
+        return self._tuple_literal([val(c) for c in self.shared_bound_cols[id(node)]])
+
+    def _cell_literal(self, node: DecompNode) -> str:
+        """The freshly-created cell of a shared node: a one-slot list for a
+        unit leaf (so the residual has object identity every parent can
+        point at), the container literal for a map node."""
+        if node.is_unit:
+            return "[None]"
+        return self._node_literal(node)
+
+    def _emit_access_count(
+        self, edge: MapEdge, cexpr: str, scan: bool = False, op: str = "lookup"
+    ) -> None:
         strategy = _strategy(edge)
         if scan:
             self.em.line(f"if en: _C.accesses += len({cexpr})")
         elif strategy == "tree":
             self.em.line(f"if en: _C.accesses += max(1, len({cexpr}).bit_length())")
+        elif strategy == "intrusive":
+            if op == "lookup":
+                # An unordered intrusive list cannot probe by key: a key
+                # search walks the links, so it is charged like a scan.
+                self.em.line(f"if en: _C.accesses += max(1, len({cexpr}))")
+            else:  # link / unlink: the intrusive O(1) operations.
+                self.em.line("if en: _C.accesses += 1")
         elif strategy != "list":  # list probes are counted inside the helpers
             self.em.line("if en: _C.accesses += 1")
 
@@ -159,7 +207,36 @@ class _RelationCompiler:
         else:
             self.em.line(f"{target} = {cexpr}.get({kexpr}, _MISS)")
 
+    def _emit_unlink(
+        self, edge: MapEdge, cexpr: str, kexpr: str, probe_paid: bool = True
+    ) -> None:
+        """Delete an entry the emitted code has already proven present.
+
+        When *probe_paid* (the non-shared walk: an ``_emit_get`` probe on
+        this container immediately precedes), hash/tree deletes ride on
+        that charge.  The shared-node fast path reaches the container with
+        no preceding probe (the hit was decided against the registry), so
+        it passes ``probe_paid=False`` and the delete is charged like the
+        probe the interpreted tier's key-based removal pays.  Intrusive
+        unlinks always charge their single access — their preceding probe,
+        if any, was a key *search*, and the O(1) unlink is a separate
+        pointer splice."""
+        strategy = _strategy(edge)
+        if strategy == "list":
+            self.em.line(f"_l_del({cexpr}, {kexpr})")
+            return
+        if strategy == "intrusive" or not probe_paid:
+            self._emit_access_count(edge, cexpr, op="unlink")
+        self.em.line(f"del {cexpr}[{kexpr}]")
+
     def _residual_condition(self, leaf: DecompNode, uvar: str, val: Callable[[str], str]) -> str:
+        if self._is_shared(leaf):
+            # *uvar* holds the shared cell (or _MISS): unwrap one level.
+            if not leaf.unit_columns:
+                return f"{uvar} is not _MISS"
+            return (
+                f"{uvar} is not _MISS and {uvar}[0] == {self._residual_expr(leaf, val)}"
+            )
         if not leaf.unit_columns:
             return f"{uvar} is True"
         return f"{uvar} == {self._residual_expr(leaf, val)}"
@@ -256,8 +333,10 @@ class _RelationCompiler:
             current = nvar
 
         unit_cols = sorted(path.leaf.unit_columns)
+        # A shared unit leaf stores its residual boxed in a one-slot cell.
+        base = f"{current}[0]" if self._is_shared(path.leaf) else current
         for j, uc in enumerate(unit_cols):
-            exprs[uc] = current if len(unit_cols) == 1 else f"{current}[{j}]"
+            exprs[uc] = base if len(unit_cols) == 1 else f"{base}[{j}]"
         for uc in unit_cols:
             if uc in pattern_cols:
                 em.line(f"if {exprs[uc]} != {pvars[uc]}:")
@@ -348,7 +427,7 @@ class _RelationCompiler:
             with em.indent():
                 em.line("self._remove_row(_r)")
 
-    def _emit_store_walk(self, node: DecompNode, inst_expr: str) -> None:
+    def _emit_store_walk(self, node: DecompNode, inst_expr: str, shared_emitted: set) -> None:
         em = self.em
         if node.is_unit:  # Unit root: the instance is the residual itself.
             em.line(f"self._root = {self._residual_expr(node, self._vexpr)}")
@@ -357,7 +436,9 @@ class _RelationCompiler:
             cvar = self._gensym("c")
             em.line(f"{cvar} = {self._container_expr(node, inst_expr, idx)}")
             kexpr = self._key_expr(e, self._vexpr)
-            if e.child.is_unit:
+            if self._is_shared(e.child):
+                self._emit_shared_store(e, cvar, kexpr, shared_emitted)
+            elif e.child.is_unit:
                 residual = self._residual_expr(e.child, self._vexpr)
                 self._emit_access_count(e, cvar)
                 if _strategy(e) == "list":
@@ -374,9 +455,42 @@ class _RelationCompiler:
                         em.line(f"{cvar}.append([{kexpr}, {nvar}])")
                     else:
                         em.line(f"{cvar}[{kexpr}] = {nvar}")
-                self._emit_store_walk(e.child, nvar)
+                self._emit_store_walk(e.child, nvar, shared_emitted)
 
-    def _emit_remove_walk(self, node: DecompNode, inst_expr: str) -> None:
+    def _emit_shared_store(self, e: MapEdge, cvar: str, kexpr: str, shared_emitted: set) -> None:
+        """Get-or-create the shared child's cell (once per insert) and link
+        it into this parent container only when freshly created — a registry
+        hit from an earlier insert is already linked into every parent, so
+        no duplicate search is ever emitted (the intrusive O(1) link)."""
+        em = self.em
+        j = self.shared_index[id(e.child)]
+        descend = False
+        if j not in shared_emitted:
+            shared_emitted.add(j)
+            em.line(f"_b{j} = {self._bk_expr(e.child, self._vexpr)}")
+            em.line(f"_sc{j} = self._s{j}.get(_b{j})")
+            em.line(f"_sn{j} = _sc{j} is None")
+            em.line(f"if _sn{j}:")
+            with em.indent():
+                em.line(f"_sc{j} = {self._cell_literal(e.child)}")
+                em.line(f"self._s{j}[_b{j}] = _sc{j}")
+            if e.child.is_unit and e.child.unit_columns:
+                em.line(f"_sc{j}[0] = {self._residual_expr(e.child, self._vexpr)}")
+            elif e.child.is_unit:
+                em.line(f"_sc{j}[0] = True")
+            descend = not e.child.is_unit
+        em.line(f"if _sn{j}:")
+        with em.indent():
+            if _strategy(e) == "list":
+                em.line("if en: _C.accesses += 1")
+                em.line(f"{cvar}.append([{kexpr}, _sc{j}])")
+            else:
+                self._emit_access_count(e, cvar, op="link")
+                em.line(f"{cvar}[{kexpr}] = _sc{j}")
+        if descend:
+            self._emit_store_walk(e.child, f"_sc{j}", shared_emitted)
+
+    def _emit_remove_walk(self, node: DecompNode, inst_expr: str, shared_emitted: set) -> None:
         em = self.em
         if node.is_unit:  # Unit root.
             cond = self._residual_condition(node, "self._root", self._vexpr)
@@ -389,28 +503,42 @@ class _RelationCompiler:
             cvar = self._gensym("c")
             em.line(f"{cvar} = {self._container_expr(node, inst_expr, idx)}")
             kexpr = self._key_expr(e, self._vexpr)
-            if e.child.is_unit:
+            if self._is_shared(e.child):
+                # The hit was decided once against the registry (_sh flags,
+                # see _emit_remove_row); each parent just unlinks — O(1) on
+                # intrusive branches, no per-branch victim scan.
+                j = self.shared_index[id(e.child)]
+                if e.child.is_unit:
+                    em.line(f"if _sh{j}:")
+                    with em.indent():
+                        self._emit_unlink(e, cvar, kexpr, probe_paid=False)
+                        em.line("removed = True")
+                else:
+                    if j not in shared_emitted:
+                        shared_emitted.add(j)
+                        em.line(f"if _sh{j}:")
+                        with em.indent():
+                            self._emit_remove_walk(e.child, f"_sc{j}", shared_emitted)
+                            em.line(f"_se{j} = {self._emptiness_expr(e.child, f'_sc{j}')}")
+                    em.line(f"if _sh{j} and _se{j}:")
+                    with em.indent():
+                        self._emit_unlink(e, cvar, kexpr, probe_paid=False)
+            elif e.child.is_unit:
                 uvar = self._gensym("u")
                 self._emit_get(e, uvar, cvar, kexpr)
                 em.line(f"if {self._residual_condition(e.child, uvar, self._vexpr)}:")
                 with em.indent():
-                    if _strategy(e) == "list":
-                        em.line(f"_l_del({cvar}, {kexpr})")
-                    else:
-                        em.line(f"del {cvar}[{kexpr}]")
+                    self._emit_unlink(e, cvar, kexpr)
                     em.line("removed = True")
             else:
                 nvar = self._gensym("n")
                 self._emit_get(e, nvar, cvar, kexpr)
                 em.line(f"if {nvar} is not _MISS:")
                 with em.indent():
-                    self._emit_remove_walk(e.child, nvar)
+                    self._emit_remove_walk(e.child, nvar, shared_emitted)
                     em.line(f"if {self._emptiness_expr(e.child, nvar)}:")
                     with em.indent():
-                        if _strategy(e) == "list":
-                            em.line(f"_l_del({cvar}, {kexpr})")
-                        else:
-                            em.line(f"del {cvar}[{kexpr}]")
+                        self._emit_unlink(e, cvar, kexpr)
 
     # -- top-level generation ----------------------------------------------------
 
@@ -535,6 +663,9 @@ class _RelationCompiler:
             em.line(f"self._root = {literal}")
             em.line("self._count = 0")
             em.line("self._proj_cache = {}")
+            for j, node in enumerate(self.shared_nodes):
+                bound = ", ".join(self.shared_bound_cols[id(node)])
+                em.line(f"self._s{j} = {{}}  # shared node registry ({{{bound}}} binding -> cell)")
         em.line()
 
     def _emit_coercers(self) -> None:
@@ -618,7 +749,7 @@ class _RelationCompiler:
                 em.line("if not self.enforce_fds:")
                 with em.indent():
                     self._emit_fd_eviction()
-            self._emit_store_walk(self.decomposition.root, "self._root")
+            self._emit_store_walk(self.decomposition.root, "self._root", set())
             em.line("self._count += 1")
             em.line("return True")
         em.line()
@@ -636,11 +767,35 @@ class _RelationCompiler:
         em = self.em
         self._reset_symbols()
         with em.block("def _remove_row(self, row):"):
-            em.docstring("Remove a full row from every branch, pruning empty sub-instances.")
+            em.docstring(
+                "Remove a full row from every branch, pruning empty "
+                "sub-instances.  Shared nodes are resolved once against "
+                "their registry; every parent then unlinks the same object "
+                "(O(1) per intrusive branch)."
+            )
             em.line("en = _C.enabled")
             em.line(f"{self._row_unpack()} = row")
             em.line("removed = False")
-            self._emit_remove_walk(self.decomposition.root, "self._root")
+            for j, node in enumerate(self.shared_nodes):
+                em.line(f"_b{j} = {self._bk_expr(node, self._vexpr)}")
+                em.line(f"_sc{j} = self._s{j}.get(_b{j})")
+                if node.is_unit:
+                    if node.unit_columns:
+                        em.line(
+                            f"_sh{j} = _sc{j} is not None and _sc{j}[0] == "
+                            f"{self._residual_expr(node, self._vexpr)}"
+                        )
+                    else:
+                        em.line(f"_sh{j} = _sc{j} is not None")
+                else:
+                    em.line(f"_sh{j} = _sc{j} is not None")
+                    em.line(f"_se{j} = False")
+            self._emit_remove_walk(self.decomposition.root, "self._root", set())
+            for j, node in enumerate(self.shared_nodes):
+                guard = f"_sh{j}" if node.is_unit else f"_sh{j} and _se{j}"
+                em.line(f"if {guard}:")
+                with em.indent():
+                    em.line(f"self._s{j}.pop(_b{j}, None)")
             em.line("if removed:")
             with em.indent():
                 em.line("self._count -= 1")
@@ -815,6 +970,7 @@ class _RelationCompiler:
                     '"stored rows (%d) disagree with the maintained count (%d)" '
                     "% (len(rows), self._count))"
                 )
+            self._emit_sharing_checks()
         em.line()
         with em.block("def __len__(self):"):
             em.line("return self._count")
@@ -824,6 +980,72 @@ class _RelationCompiler:
                 'return "%s(size=%d)" % (type(self).__name__, self._count)'
             )
         em.line()
+
+    def _routes_to(self, target: DecompNode) -> List[List[tuple]]:
+        """Every route (list of ``(source node, edge, edge index)`` steps)
+        from the root to *target*, in deterministic pre-order."""
+        routes: List[List[tuple]] = []
+
+        def walk(node: DecompNode, acc: List[tuple]) -> None:
+            for idx, e in enumerate(node.edges):
+                step = acc + [(node, e, idx)]
+                if e.child is target:
+                    routes.append(step)
+                if not e.child.is_unit:
+                    walk(e.child, step)
+
+        walk(self.decomposition.root, [])
+        return routes
+
+    def _emit_sharing_checks(self) -> None:
+        """The compiled sharing invariant: each shared node's registry must
+        hold exactly the bindings the rows imply, and every parent route
+        must reach the registry's own cell object (identity, not equality)."""
+        em = self.em
+        for j, node in enumerate(self.shared_nodes):
+            bound_cols = self.shared_bound_cols[id(node)]
+            bpos = {c: i for i, c in enumerate(bound_cols)}
+            proj = self._tuple_literal([f"r[{self.col_index[c]}]" for c in bound_cols])
+            em.line(f"if set(self._s{j}) != {{{proj} for r in rows}}:")
+            with em.indent():
+                em.line(
+                    "raise WellFormednessError("
+                    f'"shared node registry {j} disagrees with the stored rows")'
+                )
+            for route_index, route in enumerate(self._routes_to(node)):
+                em.line(f"for _b, _cell in self._s{j}.items():")
+                with em.indent():
+                    current = "self._root"
+                    for source, e, idx in route:
+                        cexpr = self._container_expr(source, current, idx)
+                        key_cols = sorted(e.key)
+                        if len(key_cols) == 1:
+                            kexpr = f"_b[{bpos[key_cols[0]]}]"
+                        else:
+                            kexpr = self._tuple_literal(
+                                [f"_b[{bpos[c]}]" for c in key_cols]
+                            )
+                        wvar = self._gensym("w")
+                        if _strategy(e) == "list":
+                            em.line(f"{wvar} = _l_get({cexpr}, {kexpr})")
+                        else:
+                            em.line(f"{wvar} = {cexpr}.get({kexpr}, _MISS)")
+                        em.line(f"if {wvar} is _MISS:")
+                        with em.indent():
+                            em.line(
+                                "raise WellFormednessError("
+                                f'"shared node {j} binding %r is missing from '
+                                f'parent route {route_index}" % (_b,))'
+                            )
+                        current = wvar
+                    em.line(f"if {current} is not _cell:")
+                    with em.indent():
+                        em.line(
+                            "raise WellFormednessError("
+                            f'"sharing invariant violated: parent route '
+                            f'{route_index} of shared node {j} holds a different '
+                            f'object for binding %r" % (_b,))'
+                        )
 
     def _emit_dispatch(
         self, subsets: Sequence[FrozenSet[str]], method_names: Dict[FrozenSet[str], str]

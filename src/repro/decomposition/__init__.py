@@ -21,9 +21,9 @@ relational specifications (:mod:`repro.core`) and primitive containers
 
 from .adequacy import adequacy_problems, check_adequacy, enforced_fds, is_adequate
 from .instance import DecompositionInstance, NodeInstance
-from .model import Decomposition, DecompNode, MapEdge, Path, edge, unit
+from .model import Decomposition, DecompNode, MapEdge, Path, edge, format_decomposition, unit
 from .parser import parse_decomposition, tokenize
-from .plan import LookupStep, QueryPlan, ScanStep, execute_plan, plan_query
+from .plan import LookupStep, QueryPlan, ScanStep, converging_plans, execute_plan, plan_query
 from .relation import DecomposedRelation
 
 __all__ = [
@@ -39,9 +39,11 @@ __all__ = [
     "ScanStep",
     "adequacy_problems",
     "check_adequacy",
+    "converging_plans",
     "edge",
     "enforced_fds",
     "execute_plan",
+    "format_decomposition",
     "is_adequate",
     "parse_decomposition",
     "plan_query",

@@ -4,19 +4,28 @@ A decomposition is *adequate* for a specification ``(C, ∆)`` when every
 relation over ``C`` satisfying ``∆`` is representable by some instance of
 the decomposition — i.e. the abstraction function α is surjective onto the
 FD-satisfying relations.  Concretely this reproduction checks, for every
-root-to-leaf path with bound columns ``B`` and leaf unit columns ``U``:
+leaf reachable with bound columns ``B`` and unit columns ``U``:
 
-* **column justification** — ``B ∪ U = C``: the path mentions every
-  specification column exactly once and no others.  (Requiring *every*
-  branch to cover all columns is slightly stricter than the paper, which
-  also admits branches that share a sub-node holding the residual columns;
-  node sharing across branches is a planned follow-up, see ROADMAP.)
+* **column justification** — ``B ∪ U = C``: every root-to-leaf path
+  mentions every specification column exactly once and no others.
+  (Requiring *every* branch to cover all columns is slightly stricter than
+  the paper; branches may instead converge on a **shared sub-node** that
+  holds the residual columns — see below.)
 * **FD justification** — ``∆ ⊢fd B → U``: a unit stores at most one tuple
   per binding of ``B``, so the decomposition structurally enforces the
   dependency ``B → U``.  Adequacy demands that this enforced dependency is
   *justified* by (entailed by) the specification's FDs — otherwise there
   are ∆-satisfying relations the decomposition cannot hold.  Since
   ``B ∪ U = C`` this is exactly the requirement that ``B`` is a key.
+* **shared-node typing** — a node reached through several parent edges
+  (the paper's shared sub-nodes, e.g. the scheduler's process records
+  reached from both the ``ns, pid`` index and the per-``state`` lists)
+  must be reached with *one* bound column set, so it has a single type
+  ``B ▷ C`` and instances can materialise one object per ``B``-binding.
+
+The checks run over a traversal memoised on ``(node, bound)`` pairs
+(:meth:`Decomposition.node_bounds`), so shared nodes are visited once per
+distinct bound set — no exponential blowup when branches converge.
 
 :func:`enforced_fds` exposes the dependencies a decomposition enforces by
 construction, which the differential tests use to cross-check the theorem
@@ -36,31 +45,63 @@ from .model import Decomposition
 __all__ = ["check_adequacy", "is_adequate", "adequacy_problems", "enforced_fds"]
 
 
+def _leaf_typings(decomposition: Decomposition) -> List[tuple]:
+    """Every distinct ``(leaf node, bound columns)`` pair, deterministically.
+
+    Built from the memoised :meth:`Decomposition.node_bounds` traversal:
+    a shared leaf reachable from several branches with the same bound set
+    contributes one entry, not one per root-to-leaf path.
+    """
+    bounds = decomposition.node_bounds()
+    return [
+        (node, bound)
+        for node in decomposition.nodes()
+        if node.is_unit
+        for bound in bounds.get(id(node), [])
+    ]
+
+
 def adequacy_problems(decomposition: Decomposition, spec: RelationSpec) -> List[str]:
     """Return a human-readable list of reasons the decomposition is not
     adequate for *spec* (empty when it is adequate)."""
     problems: List[str] = []
-    for path in decomposition.paths():
-        covered = path.covered
+    names = decomposition.node_names()
+    bounds = decomposition.node_bounds()
+    for node in decomposition.shared_nodes():
+        entries = bounds.get(id(node), [])
+        if len(entries) > 1:
+            rendered = ", ".join(format_columns(b) for b in entries)
+            problems.append(
+                f"shared node {names[id(node)]} ({node!r}) is reached with "
+                f"{len(entries)} different bound column sets ({rendered}); a "
+                f"shared sub-node must have a single type B ▷ C, i.e. every "
+                f"path to it must bind the same columns"
+            )
+    for leaf, bound in _leaf_typings(decomposition):
+        where = (
+            f"leaf {names[id(leaf)]} (unit{format_columns(leaf.unit_columns)} "
+            f"reached with bound columns {format_columns(bound)})"
+        )
+        covered = bound | leaf.unit_columns
         extra = covered - spec.columns
         if extra:
             problems.append(
-                f"path `{path.describe()}` mentions columns {format_columns(extra)} "
+                f"{where} mentions columns {format_columns(extra)} "
                 f"outside the specification columns {format_columns(spec.columns)}"
             )
         missing = spec.columns - covered
         if missing:
             problems.append(
-                f"path `{path.describe()}` does not justify columns "
+                f"{where} does not justify columns "
                 f"{format_columns(missing)}: every root-to-leaf path must bind or "
                 f"store every specification column"
             )
-        if not extra and not missing and not spec.fds.entails(path.bound, path.leaf.unit_columns):
+        if not extra and not missing and not spec.fds.entails(bound, leaf.unit_columns):
             problems.append(
-                f"path `{path.describe()}` enforces the dependency "
-                f"{format_columns(path.bound)} → {format_columns(path.leaf.unit_columns)}, "
+                f"{where} enforces the dependency "
+                f"{format_columns(bound)} → {format_columns(leaf.unit_columns)}, "
                 f"which the specification's FDs do not justify (the bound columns "
-                f"{format_columns(path.bound)} are not a key); the decomposition cannot "
+                f"{format_columns(bound)} are not a key); the decomposition cannot "
                 f"represent every relation satisfying {spec.fds!r}"
             )
     return problems
@@ -84,14 +125,20 @@ def is_adequate(decomposition: Decomposition, spec: RelationSpec) -> bool:
 def enforced_fds(decomposition: Decomposition) -> FDSet:
     """The functional dependencies the decomposition enforces structurally.
 
-    Each leaf with bound columns ``B`` and unit columns ``U`` contributes
-    ``B → U`` (a unit holds one tuple per binding).  Leaves with no unit
-    columns contribute nothing — a pure presence marker enforces no
-    dependency.
+    Each leaf reached with bound columns ``B`` holding unit columns ``U``
+    contributes ``B → U`` (a unit holds one tuple per binding).  Leaves with
+    no unit columns contribute nothing — a pure presence marker enforces no
+    dependency.  A shared leaf contributes its dependency once, not once
+    per converging branch.
     """
-    fds = [
-        FunctionalDependency(path.bound, path.leaf.unit_columns)
-        for path in decomposition.paths()
-        if path.leaf.unit_columns
-    ]
+    seen = set()
+    fds = []
+    for leaf, bound in _leaf_typings(decomposition):
+        if not leaf.unit_columns:
+            continue
+        key = (bound, leaf.unit_columns)
+        if key in seen:
+            continue
+        seen.add(key)
+        fds.append(FunctionalDependency(bound, leaf.unit_columns))
     return FDSet(fds)

@@ -6,6 +6,26 @@ A :class:`DecompositionInstance` is the run-time object graph described by a
 holding one primitive container per outgoing edge, each leaf instance
 holding at most one unit tuple.
 
+**Node sharing** (Section 3): a decomposition node reached through several
+parent edges materialises as *one* :class:`NodeInstance` per binding of its
+bound columns, reachable from every parent container — the paper's
+scheduler records, pointed at by both the ``ns, pid`` hash index and the
+per-``state`` lists.  The instance keeps a per-shared-node registry mapping
+bound-column bindings to their unique ``NodeInstance``; mutators use it to
+
+* link a freshly created shared child into every parent container with
+  :meth:`~repro.structures.base.AssociativeContainer.insert_unique`
+  (constant time on intrusive containers — no duplicate search), and
+* unlink an emptied shared child from every parent with
+  :meth:`~repro.structures.base.AssociativeContainer.remove_value`
+  (constant time on intrusive containers — no per-branch victim scan).
+
+The registry itself is bookkeeping, not a container: it models the record
+pointer real generated code would already hold, so registry probes are not
+charged to the :class:`~repro.structures.base.OperationCounter` (the
+compiled tier's registry is likewise uncounted, keeping the tiers
+comparable).
+
 Three pieces of the formal development live here:
 
 * the **abstraction function** ``α`` (:meth:`DecompositionInstance.alpha`),
@@ -13,8 +33,10 @@ Three pieces of the formal development live here:
 * **instance well-formedness** (Figure 5,
   :meth:`DecompositionInstance.check_well_formed`): container keys must be
   valuations of their edge's key columns, unit tuples valuations of their
-  leaf's unit columns, and — for branching nodes — every outgoing edge must
-  represent exactly the same set of tuples;
+  leaf's unit columns, for branching nodes every outgoing edge must
+  represent exactly the same set of tuples, and — the sharing invariant —
+  every parent edge of a shared node must reference the *same* object for
+  one binding;
 * the primitive **mutators** ``insert_tuple`` / ``remove_tuple`` used by
   :class:`~repro.decomposition.relation.DecomposedRelation` to implement
   the relational operations.
@@ -27,6 +49,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple as PyTuple
 
+from ..core.columns import ColumnSet
 from ..core.errors import WellFormednessError
 from ..core.relation import Relation
 from ..core.spec import RelationSpec
@@ -42,7 +65,7 @@ __all__ = ["NodeInstance", "DecompositionInstance"]
 class NodeInstance:
     """The run-time materialisation of one decomposition node for one binding."""
 
-    __slots__ = ("node", "containers", "unit_value")
+    __slots__ = ("node", "containers", "unit_value", "intrusive_links")
 
     def __init__(self, node: DecompNode):
         self.node = node
@@ -52,6 +75,10 @@ class NodeInstance:
         ]
         #: The stored tuple of a unit leaf (``None`` when the leaf is empty).
         self.unit_value: Optional[Tuple] = None
+        #: Link fields for intrusive parent containers (``ilist``), created
+        #: on demand by the container — the in-object links that make
+        #: removal-by-value O(1), per ``boost::intrusive``.
+        self.intrusive_links: Optional[dict] = None
 
     def __repr__(self) -> str:
         if self.node.is_unit:
@@ -60,13 +87,39 @@ class NodeInstance:
         return f"NodeInstance(containers=[{sizes}])"
 
 
+class _OpContext:
+    """Per-operation scratch state for DAG-aware mutator walks."""
+
+    __slots__ = ("created", "visited", "removals", "resolved")
+
+    def __init__(self) -> None:
+        #: ids of shared NodeInstances created by this operation — they
+        #: still need linking into each parent container as the walk
+        #: reaches it (a registry hit from an *earlier* operation is
+        #: already linked everywhere, by well-formedness).
+        self.created: Set[int] = set()
+        #: ids of shared NodeInstances whose subtree this operation has
+        #: already descended into (descend once, link/unlink per parent).
+        self.visited: Set[int] = set()
+        #: id(child) → (removed, now_empty) results memoised across the
+        #: parents of a shared child during one removal.
+        self.removals: Dict[int, "tuple[bool, bool]"] = {}
+        #: (id(node), binding) → NodeInstance resolved during this removal.
+        #: The first parent that empties a shared child pops its registry
+        #: entry; later parents must still reach the same object to unlink
+        #: it from their own containers.
+        self.resolved: Dict["tuple[int, Tuple]", NodeInstance] = {}
+
+
 class DecompositionInstance:
     """A populated instance of an adequate decomposition.
 
     Construction checks adequacy against *spec* (raising
     :class:`~repro.core.errors.AdequacyError` otherwise), so every instance
     in the system is an instance of an adequate decomposition — the
-    precondition of the paper's soundness theorem.
+    precondition of the paper's soundness theorem.  Adequacy also
+    guarantees every shared node has a single bound column set, which is
+    what makes the per-shared-node registries below well-defined.
     """
 
     __slots__ = (
@@ -77,6 +130,8 @@ class DecompositionInstance:
         "_tuple_count",
         "edge_entries",
         "edge_containers",
+        "_shared_bound",
+        "_shared",
     )
 
     def __init__(self, decomposition: Decomposition, spec: RelationSpec):
@@ -88,11 +143,17 @@ class DecompositionInstance:
         self._edges: PyTuple[MapEdge, ...] = tuple(
             e for node in decomposition.nodes() for e in node.edges
         )
+        #: ``id(node)`` → bound column set, for every shared node.
+        self._shared_bound: Dict[int, ColumnSet] = {
+            id(node): decomposition.shared_bound(node)
+            for node in decomposition.shared_nodes()
+        }
         self.root = NodeInstance(decomposition.root)
         self._reset_stats()
 
     def _reset_stats(self) -> None:
-        """(Re-)initialise the incremental tuple count and per-edge sizes."""
+        """(Re-)initialise the incremental tuple count, per-edge sizes, and
+        the shared-node registries."""
         self._tuple_count = 0
         #: Total entries across every container materialised for an edge.
         self.edge_entries: Dict[MapEdge, int] = {e: 0 for e in self._edges}
@@ -100,6 +161,11 @@ class DecompositionInstance:
         self.edge_containers: Dict[MapEdge, int] = {e: 0 for e in self._edges}
         for e in self.decomposition.root.edges:
             self.edge_containers[e] = 1
+        #: ``id(node)`` → {binding → NodeInstance}: the unique sub-instance
+        #: of each shared node per valuation of its bound columns.
+        self._shared: Dict[int, Dict[Tuple, NodeInstance]] = {
+            nid: {} for nid in self._shared_bound
+        }
 
     # -- mutators ---------------------------------------------------------------
 
@@ -117,7 +183,7 @@ class DecompositionInstance:
         """
         for conflict in self._conflicts(self.root, tup, Tuple.empty()):
             self.remove_tuple(conflict)
-        if self._insert(self.root, tup):
+        if self._insert(self.root, tup, _OpContext()):
             self._tuple_count += 1
 
     def _conflicts(self, instance: NodeInstance, tup: Tuple, binding: Tuple) -> Set[Tuple]:
@@ -132,12 +198,25 @@ class DecompositionInstance:
         found: Set[Tuple] = set()
         for container, e in zip(instance.containers, node.edges):
             key = tup.project(e.key)
-            child = container.lookup(key)
+            child = self._lookup_child(container, e, tup)
             if child is not MISSING:
                 found |= self._conflicts(child, tup, binding.merge(key))
         return found
 
-    def _insert(self, instance: NodeInstance, tup: Tuple) -> bool:
+    def _lookup_child(self, container: AssociativeContainer, e: MapEdge, tup: Tuple):
+        """The child instance *tup* reaches through edge *e*, or MISSING.
+
+        Shared children resolve through the registry — the O(1) record
+        pointer the paper's intrusive lowering holds — instead of a
+        container probe (which would be a linear scan on list containers).
+        """
+        bound = self._shared_bound.get(id(e.child))
+        if bound is not None:
+            child = self._shared[id(e.child)].get(tup.project(bound))
+            return MISSING if child is None else child
+        return container.lookup(tup.project(e.key))
+
+    def _insert(self, instance: NodeInstance, tup: Tuple, ctx: _OpContext) -> bool:
         """Insert below *instance*; return whether the tuple is new (judged
         on the primary branch — well-formed instances agree across branches)."""
         node = instance.node
@@ -148,14 +227,38 @@ class DecompositionInstance:
         added = False
         for index, (container, e) in enumerate(zip(instance.containers, node.edges)):
             key = tup.project(e.key)
-            child = container.lookup(key)
-            if child is MISSING:
-                child = NodeInstance(e.child)
-                container.insert(key, child)
-                self.edge_entries[e] += 1
-                for f in e.child.edges:
-                    self.edge_containers[f] += 1
-            child_added = self._insert(child, tup)
+            bound = self._shared_bound.get(id(e.child))
+            if bound is not None:
+                registry = self._shared[id(e.child)]
+                binding = tup.project(bound)
+                child = registry.get(binding)
+                if child is None:
+                    child = NodeInstance(e.child)
+                    registry[binding] = child
+                    ctx.created.add(id(child))
+                    for f in e.child.edges:
+                        self.edge_containers[f] += 1
+                if id(child) in ctx.created:
+                    # Fresh this operation: link into this parent too.  A
+                    # registry hit from an earlier operation is already in
+                    # every parent container (well-formedness), so no
+                    # duplicate search is ever needed.
+                    container.insert_unique(key, child)
+                    self.edge_entries[e] += 1
+                if id(child) not in ctx.visited:
+                    ctx.visited.add(id(child))
+                    child_added = self._insert(child, tup, ctx)
+                else:
+                    child_added = False  # Subtree already updated this op.
+            else:
+                child = container.lookup(key)
+                if child is MISSING:
+                    child = NodeInstance(e.child)
+                    container.insert(key, child)
+                    self.edge_entries[e] += 1
+                    for f in e.child.edges:
+                        self.edge_containers[f] += 1
+                child_added = self._insert(child, tup, ctx)
             if index == 0:
                 added = child_added
         return added
@@ -164,14 +267,19 @@ class DecompositionInstance:
         """Remove a full tuple; prune sub-instances that become empty.
 
         Returns ``True`` when the tuple was present (in the primary branch —
-        well-formed instances agree across branches).
+        well-formed instances agree across branches).  Shared children are
+        resolved through the registry and unlinked from each parent with
+        ``remove_value`` — O(1) on intrusive containers, so a multi-branch
+        removal pays no per-branch victim scan.
         """
-        removed, _ = self._remove(self.root, tup)
+        removed, _ = self._remove(self.root, tup, _OpContext())
         if removed:
             self._tuple_count -= 1
         return removed
 
-    def _remove(self, instance: NodeInstance, tup: Tuple) -> "tuple[bool, bool]":
+    def _remove(
+        self, instance: NodeInstance, tup: Tuple, ctx: _OpContext
+    ) -> "tuple[bool, bool]":
         """Remove *tup* below *instance*; return ``(removed, now_empty)``."""
         node = instance.node
         if node.is_unit:
@@ -185,15 +293,46 @@ class DecompositionInstance:
         empty = True
         for container, e in zip(instance.containers, node.edges):
             key = tup.project(e.key)
-            child = container.lookup(key)
-            if child is not MISSING:
-                child_removed, child_empty = self._remove(child, tup)
-                removed = removed or child_removed
-                if child_empty:
-                    container.remove(key)
-                    self.edge_entries[e] -= 1
-                    for f in child.node.edges:
-                        self.edge_containers[f] -= 1
+            bound = self._shared_bound.get(id(e.child))
+            if bound is not None:
+                registry = self._shared[id(e.child)]
+                binding = tup.project(bound)
+                resolved_key = (id(e.child), binding)
+                child = ctx.resolved.get(resolved_key)
+                if child is None:
+                    child = registry.get(binding)
+                    if child is not None:
+                        ctx.resolved[resolved_key] = child
+                if child is not None:
+                    result = ctx.removals.get(id(child))
+                    if result is None:
+                        result = self._remove(child, tup, ctx)
+                        ctx.removals[id(child)] = result
+                    child_removed, child_empty = result
+                    removed = removed or child_removed
+                    if child_empty:
+                        container.remove_value(key, child)
+                        self.edge_entries[e] -= 1
+                        if registry.pop(binding, None) is not None:
+                            for f in e.child.edges:
+                                self.edge_containers[f] -= 1
+            else:
+                child = container.lookup(key)
+                if child is not MISSING:
+                    child_removed, child_empty = self._remove(child, tup, ctx)
+                    removed = removed or child_removed
+                    if child_empty:
+                        # Key-based removal: a non-shared child was found by
+                        # key, and erasing it pays the structure's key cost
+                        # again — ``remove_value``'s O(1) unlink is reserved
+                        # for the shared path above, where the record is
+                        # held by reference (otherwise ``ilist`` would beat
+                        # ``dlist`` on ordinary edges and the enumerator's
+                        # cost-class collapse would be unsound).
+                        container.remove(key)
+                        self.edge_entries[e] -= 1
+                        for f in child.node.edges:
+                            self.edge_containers[f] -= 1
             if len(container):
                 empty = False
         return removed, empty
@@ -262,19 +401,36 @@ class DecompositionInstance:
         """
         return tuple(size_class(self.edge_size(e)) for e in self._edges)
 
-    # -- well-formedness (Figure 5) ---------------------------------------------
+    # -- well-formedness (Figure 5 + the sharing invariant) -----------------------
 
     def check_well_formed(self) -> None:
         """Verify the instance-level well-formedness rules of Figure 5.
 
         Raises:
             WellFormednessError: when a container key or unit tuple has the
-                wrong columns, or when the branches of a node disagree on
-                the set of tuples they represent.
+                wrong columns, when the branches of a node disagree on the
+                set of tuples they represent, or when the sharing invariant
+                is broken — two parent edges of a shared node referencing
+                different objects for one binding, a parent entry that is
+                not the registry's object, or a stale registry entry.
         """
-        self._check(self.root, Tuple.empty())
+        shared_seen: Dict["tuple[int, Tuple]", NodeInstance] = {}
+        self._check(self.root, Tuple.empty(), shared_seen)
+        for nid, registry in self._shared.items():
+            live = {binding for (node_id, binding) in shared_seen if node_id == nid}
+            stale = set(registry) - live
+            if stale:
+                raise WellFormednessError(
+                    f"shared-node registry holds {len(stale)} entr(y/ies) not "
+                    f"reachable from any parent edge: {sorted(stale, key=Tuple.sort_key)!r}"
+                )
 
-    def _check(self, instance: NodeInstance, binding: Tuple) -> Set[Tuple]:
+    def _check(
+        self,
+        instance: NodeInstance,
+        binding: Tuple,
+        shared_seen: Dict["tuple[int, Tuple]", NodeInstance],
+    ) -> Set[Tuple]:
         node = instance.node
         if node.is_unit:
             if instance.unit_value is None:
@@ -299,7 +455,26 @@ class DecompositionInstance:
                         f"container entry under {key!r} is not an instance of the "
                         f"edge's child node"
                     )
-                child_tuples = self._check(child, binding.merge(key))
+                child_binding = binding.merge(key)
+                if id(e.child) in self._shared_bound:
+                    seen_key = (id(e.child), child_binding)
+                    earlier = shared_seen.get(seen_key)
+                    if earlier is None:
+                        shared_seen[seen_key] = child
+                    elif earlier is not child:
+                        raise WellFormednessError(
+                            f"sharing invariant violated: parent edges of a shared "
+                            f"node reference different objects for binding "
+                            f"{child_binding!r}"
+                        )
+                    registered = self._shared[id(e.child)].get(child_binding)
+                    if registered is not child:
+                        raise WellFormednessError(
+                            f"sharing invariant violated: the registry entry for "
+                            f"binding {child_binding!r} is not the object the "
+                            f"parent container holds"
+                        )
+                child_tuples = self._check(child, child_binding, shared_seen)
                 if not child_tuples:
                     raise WellFormednessError(
                         f"container entry under {key!r} is an empty sub-instance "

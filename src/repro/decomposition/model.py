@@ -34,7 +34,16 @@ from ..core.columns import ColumnSet, columns, format_columns
 from ..core.errors import DecompositionError
 from ..structures.registry import get_structure
 
-__all__ = ["MapEdge", "DecompNode", "Path", "Decomposition", "unit", "edge", "format_node"]
+__all__ = [
+    "MapEdge",
+    "DecompNode",
+    "Path",
+    "Decomposition",
+    "unit",
+    "edge",
+    "format_node",
+    "format_decomposition",
+]
 
 
 class MapEdge:
@@ -180,7 +189,7 @@ class Decomposition:
     :func:`repro.decomposition.adequacy.check_adequacy`.
     """
 
-    __slots__ = ("name", "root", "_paths")
+    __slots__ = ("name", "root", "_paths", "_node_bounds", "_parent_counts")
 
     #: Guard against pathological graphs: branching nodes multiply paths.
     MAX_PATHS = 64
@@ -191,6 +200,8 @@ class Decomposition:
         self.name = name
         self.root = root
         self._paths: List[Path] = []
+        self._node_bounds: Optional[Dict[int, List[ColumnSet]]] = None
+        self._parent_counts: Optional[Dict[int, int]] = None
         self._validate()
 
     # -- structural validation -------------------------------------------------
@@ -256,6 +267,78 @@ class Decomposition:
         """Stable display names (``x0``, ``x1``, ...) keyed by ``id(node)``."""
         return {id(node): f"x{i}" for i, node in enumerate(self.nodes())}
 
+    # -- node sharing (Section 3's shared sub-nodes) -----------------------------
+
+    def parent_counts(self) -> Dict[int, int]:
+        """How many distinct map edges point at each node, keyed by ``id(node)``.
+
+        A node with two or more parents is *shared*: several branches store
+        a reference to the same child object (the paper's scheduler records,
+        reached from both the ``ns, pid`` index and the per-``state`` lists).
+        The root has no entry.  Cached — the graph is immutable after
+        validation, and the planner asks on every ``plan_query`` call.
+        """
+        if self._parent_counts is not None:
+            return self._parent_counts
+        counts: Dict[int, int] = {}
+        for node in self.nodes():
+            for e in node.edges:
+                counts[id(e.child)] = counts.get(id(e.child), 0) + 1
+        self._parent_counts = counts
+        return counts
+
+    def shared_nodes(self) -> List[DecompNode]:
+        """Every node reachable through two or more parent edges, in pre-order."""
+        counts = self.parent_counts()
+        return [node for node in self.nodes() if counts.get(id(node), 0) >= 2]
+
+    def node_bounds(self) -> Dict[int, List[ColumnSet]]:
+        """The bound column sets each node is reachable with, keyed by ``id(node)``.
+
+        Computed by a traversal memoised on ``(node, bound)`` pairs, so a
+        shared node is visited once per *distinct* bound set rather than once
+        per root-to-leaf path — the adequacy checker uses this to type-check
+        shared decompositions without enumerating an exponential path set.
+        The result is cached (the graph is immutable after validation):
+        callers iterating shared nodes pay one traversal, not one per node.
+        """
+        if self._node_bounds is not None:
+            return self._node_bounds
+        bounds: Dict[int, List[ColumnSet]] = {}
+        seen: set = set()
+        stack: List[PyTuple[DecompNode, ColumnSet]] = [(self.root, frozenset())]
+        while stack:
+            node, bound = stack.pop()
+            key = (id(node), bound)
+            if key in seen:
+                continue
+            seen.add(key)
+            bounds.setdefault(id(node), []).append(bound)
+            for e in reversed(node.edges):
+                stack.append((e.child, bound | e.key))
+        for entry in bounds.values():
+            entry.sort(key=sorted)
+        self._node_bounds = bounds
+        return bounds
+
+    def shared_bound(self, node: DecompNode) -> ColumnSet:
+        """The unique bound column set of a shared node.
+
+        Raises :class:`DecompositionError` when the node is reached with
+        more than one bound set — instances and the code generator require
+        every shared node to have one type ``B ▷ C`` (the adequacy checker
+        reports this as an adequacy problem first).
+        """
+        entries = self.node_bounds().get(id(node), [])
+        if len(entries) != 1:
+            raise DecompositionError(
+                f"shared node {node!r} of decomposition {self.name!r} is reached "
+                f"with {len(entries)} different bound column sets "
+                f"({[format_columns(b) for b in entries]}); a shared sub-node "
+                f"must have a single type"
+            )
+        return entries[0]
+
     def structures(self) -> List[str]:
         """The container names used by the decomposition, sorted."""
         return sorted({e.structure for p in self._paths for e in p.edges})
@@ -286,15 +369,18 @@ class Decomposition:
     def describe(self) -> str:
         """Render the decomposition in the textual notation of
         :mod:`repro.decomposition.parser` (the rendering re-parses to an
-        equivalent decomposition)."""
-        return format_node(self.root)
+        equivalent decomposition, preserving node sharing via ``@name``
+        references and a ``where`` clause)."""
+        return format_decomposition(self.root)
 
     def __repr__(self) -> str:
         return f"Decomposition({self.name!r}, {self.describe()})"
 
 
 def format_node(
-    node: DecompNode, structure_name: Optional[Callable[[str], str]] = None
+    node: DecompNode,
+    structure_name: Optional[Callable[[str], str]] = None,
+    shared_names: Optional[Dict[int, str]] = None,
 ) -> str:
     """Render *node* (and its subtree) in the textual decomposition notation.
 
@@ -302,15 +388,83 @@ def format_node(
     default renders names as written; the autotuner passes alias resolution
     (for canonical dedup keys) or a constant (for structure-free shape
     skeletons), so every rendering shares one formatter.
+
+    *shared_names* maps ``id(child)`` to a name for children that must be
+    rendered as ``@name`` references instead of being expanded in place —
+    :func:`format_decomposition` uses it to emit each shared node once.
+    The node passed in is always expanded (so a shared node's own
+    definition body renders normally).
     """
     if node.is_unit:
         return "{" + ", ".join(sorted(node.unit_columns)) + "}"
+
+    def child_text(child: DecompNode) -> str:
+        if shared_names is not None and id(child) in shared_names:
+            return f"@{shared_names[id(child)]}"
+        return format_node(child, structure_name, shared_names)
+
     rendered = [
         f"{', '.join(sorted(e.key))} -> "
         f"{structure_name(e.structure) if structure_name else e.structure} "
-        f"{format_node(e.child, structure_name)}"
+        f"{child_text(e.child)}"
         for e in node.edges
     ]
     if len(rendered) == 1:
         return rendered[0]
     return "[" + " ; ".join(rendered) + "]"
+
+
+def format_decomposition(
+    root: DecompNode, structure_name: Optional[Callable[[str], str]] = None
+) -> str:
+    """Render a whole decomposition, emitting each shared node exactly once.
+
+    Nodes with a single parent render inline as before.  Nodes reached
+    through several parent edges are replaced by ``@name`` references and
+    defined once in a trailing ``where`` clause::
+
+        [ns, pid -> htable (state -> htable @s0) ;
+         state -> htable (ns, pid -> ilist @s0)] where @s0 = {cpu}
+
+    Definitions are emitted innermost-first, so each definition only
+    references names defined before it — the property the parser's
+    single-pass resolution relies on.  Re-parsing the rendering yields one
+    node object per name, so sharing survives a ``parse(format(d))``
+    round-trip by object identity.
+    """
+    order: List[DecompNode] = []
+
+    def visit(node: DecompNode) -> None:
+        if any(node is s for s in order):
+            return
+        order.append(node)
+        for e in node.edges:
+            visit(e.child)
+
+    visit(root)
+    counts: Dict[int, int] = {}
+    for node in order:
+        for e in node.edges:
+            counts[id(e.child)] = counts.get(id(e.child), 0) + 1
+    shared = [node for node in order if counts.get(id(node), 0) >= 2]
+    if not shared:
+        return format_node(root, structure_name)
+    names = {id(node): f"s{i}" for i, node in enumerate(shared)}
+
+    postorder: List[DecompNode] = []
+
+    def post(node: DecompNode) -> None:
+        if any(node is s for s in postorder):
+            return
+        for e in node.edges:
+            post(e.child)
+        postorder.append(node)
+
+    post(root)
+    definitions = [
+        f"@{names[id(node)]} = {format_node(node, structure_name, names)}"
+        for node in postorder
+        if id(node) in names
+    ]
+    main = format_node(root, structure_name, names)
+    return f"{main} where {' ; '.join(definitions)}"

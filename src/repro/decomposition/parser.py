@@ -19,9 +19,24 @@ Parentheses group a sub-decomposition where precedence would otherwise be
 ambiguous; ``{}`` is the empty unit (a pure presence marker); ``#`` starts
 a comment running to end of line.
 
+**Node sharing** (the paper's shared sub-nodes, Section 3): a node that
+several branches point at is written once, as a named definition in a
+trailing ``where`` clause, and referenced as ``@name``::
+
+    [ns, pid -> htable (state -> htable @rec)
+     ; state -> htable (ns, pid -> ilist @rec)] where @rec = {cpu}
+
+Every ``@name`` reference resolves to the *same* node object, so the
+parsed decomposition is a genuine DAG: instances materialise one shared
+child per binding, reachable from every parent edge.  A definition may
+reference names defined before it (the formatter emits definitions
+innermost-first); ``where`` is reserved at the top level.
+
 The grammar::
 
-    node    := unit | branch | '(' node ')' | edge
+    text    := node [ 'where' binding (';' binding)* ]
+    binding := '@' IDENT '=' node
+    node    := unit | branch | '(' node ')' | edge | '@' IDENT
     unit    := '{' [ cols ] '}'
     branch  := '[' node (';' node)* ']'
     edge    := cols '->' IDENT node
@@ -29,7 +44,8 @@ The grammar::
 
 :func:`parse_decomposition` returns a validated
 :class:`~repro.decomposition.model.Decomposition`;
-:meth:`Decomposition.describe` renders back into this notation.
+:meth:`Decomposition.describe` renders back into this notation (and
+``parse(format(d))`` preserves sharing by object identity).
 """
 
 from __future__ import annotations
@@ -57,7 +73,7 @@ _TOKEN_RE = re.compile(
   | (?P<newline>\n)
   | (?P<arrow>->)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
-  | (?P<punct>[{}\[\](),;])
+  | (?P<punct>[{}\[\](),;@=])
     """,
     re.VERBOSE,
 )
@@ -89,10 +105,12 @@ def tokenize(text: str) -> List[Token]:
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token], text: str):
+    def __init__(self, tokens: List[Token], text: str, env: Optional[dict] = None):
         self.tokens = tokens
         self.text = text
         self.position = 0
+        #: Named nodes from the ``where`` clause, shared by reference.
+        self.env: dict = env if env is not None else {}
 
     # -- token plumbing --------------------------------------------------------
 
@@ -140,14 +158,31 @@ class _Parser:
             node = self.parse_node()
             self.expect("punct", ")")
             return node
+        if self.at_punct("@"):
+            return self.parse_reference()
         if token.kind == "ident":
             return self.parse_edge()
         raise ParseError(
-            f"expected a unit '{{...}}', a branch '[...]', or key columns, "
-            f"but found {token.text!r}",
+            f"expected a unit '{{...}}', a branch '[...]', a '@name' reference, "
+            f"or key columns, but found {token.text!r}",
             line=token.line,
             column=token.column,
         )
+
+    def parse_reference(self) -> DecompNode:
+        at = self.expect("punct", "@")
+        name = self.expect("ident").text
+        node = self.env.get(name)
+        if node is None:
+            known = ", ".join(sorted(self.env)) or "none defined yet"
+            raise ParseError(
+                f"reference to undefined shared node '@{name}' (known names: "
+                f"{known}; a 'where' definition may only reference names "
+                f"defined before it)",
+                line=at.line,
+                column=at.column,
+            )
+        return node
 
     def parse_unit(self) -> DecompNode:
         self.expect("punct", "{")
@@ -199,8 +234,69 @@ class _Parser:
         return DecompNode(edges=(MapEdge(names, structure, child),))
 
 
+def _split_where(tokens: List[Token]) -> "tuple[List[Token], Optional[List[Token]]]":
+    """Split *tokens* at the first bracket-depth-zero ``where`` keyword.
+
+    Returns ``(main_tokens, definition_tokens)``; the second element is
+    ``None`` when the text has no ``where`` clause (as opposed to an empty
+    clause, which is an error).  ``where`` is a reserved word at the top
+    level of the notation.
+    """
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.kind == "punct" and token.text in "([{":
+            depth += 1
+        elif token.kind == "punct" and token.text in ")]}":
+            depth -= 1
+        elif token.kind == "ident" and token.text == "where" and depth == 0:
+            return tokens[:index], tokens[index + 1 :]
+    return tokens, None
+
+
+def _parse_definitions(tokens: List[Token], text: str) -> dict:
+    """Parse the ``where`` clause: ``@name = node (';' @name = node)*``.
+
+    Each definition is parsed with the environment built so far, so
+    definitions may reference earlier names (the formatter emits them
+    innermost-first).  Returns the name → node environment.
+    """
+    if not tokens:
+        raise ParseError("'where' must be followed by at least one '@name = ...' definition")
+    env: dict = {}
+    parser = _Parser(tokens, text, env)
+    while True:
+        at = parser.expect("punct", "@")
+        name = parser.expect("ident").text
+        if name in env:
+            raise ParseError(
+                f"shared node '@{name}' is defined twice in the 'where' clause",
+                line=at.line,
+                column=at.column,
+            )
+        parser.expect("punct", "=")
+        env[name] = parser.parse_node()
+        if parser.at_punct(";"):
+            parser.advance()
+            continue
+        break
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"unexpected trailing text in the 'where' clause starting at "
+            f"{leftover.text!r}",
+            line=leftover.line,
+            column=leftover.column,
+        )
+    return env
+
+
 def parse_decomposition(text: str, name: str = "decomposition") -> Decomposition:
     """Parse the textual decomposition notation into a :class:`Decomposition`.
+
+    ``@name`` references resolve to the node objects defined in the
+    trailing ``where`` clause — every reference to one name yields the
+    *same* :class:`~repro.decomposition.model.DecompNode` object, so shared
+    sub-nodes survive parsing by identity.
 
     Raises:
         ParseError: on malformed text (with line/column information).
@@ -210,7 +306,15 @@ def parse_decomposition(text: str, name: str = "decomposition") -> Decomposition
     tokens = tokenize(text)
     if not tokens:
         raise ParseError("empty decomposition text")
-    parser = _Parser(tokens, text)
+    main_tokens, definition_tokens = _split_where(tokens)
+    if not main_tokens:
+        raise ParseError("expected a decomposition node before 'where'")
+    env = (
+        _parse_definitions(definition_tokens, text)
+        if definition_tokens is not None
+        else {}
+    )
+    parser = _Parser(main_tokens, text, env)
     root = parser.parse_node()
     leftover = parser.peek()
     if leftover is not None:

@@ -12,10 +12,23 @@ decomposition.  At each edge the planner emits one of two step kinds:
 Because adequacy guarantees every path binds or stores every column, any
 single path can answer any query; the planner chooses the cheapest path
 under the containers' cost models (fewest scans first, then estimated
-accesses).  This is a deliberately small subset of the paper's planner — no
-cross-branch joins yet — but it already exploits the structure the
-decomposition provides: a pattern bound on ``{state}`` uses the ``state``
-index branch while a pattern on ``{ns, pid}`` uses the primary-key branch.
+accesses).  It already exploits the structure the decomposition provides: a
+pattern bound on ``{state}`` uses the ``state`` index branch while a
+pattern on ``{ns, pid}`` uses the primary-key branch.
+
+**Cross-branch convergence on shared nodes**: when branches share a
+sub-node (Section 3's shared records), every path that reaches the shared
+node with its bound columns covered by the pattern lands on the *same*
+record object — a cross-branch hash-join between the converging branches
+degenerates to picking the cheapest access path, because the "join" on the
+shared node's bound columns is object identity, not a tuple comparison.
+The planner records this on the plan (:attr:`QueryPlan.leaf_shared`), ranks
+the converging paths purely by access cost, and downstream consumers rely
+on the identity: ``DecomposedRelation.remove`` finds victims through the
+cheapest branch and unlinks the very same record objects from every other
+branch in O(1) via the instance's shared registry and intrusive containers.
+:func:`converging_plans` exposes the full set of equivalent lookup-only
+plans for inspection and testing.
 
 :func:`plan_query` is pure planning; :func:`execute_plan` runs a plan
 against a :class:`~repro.decomposition.instance.DecompositionInstance`.
@@ -33,7 +46,14 @@ from ..structures.registry import structure_cost
 from .instance import DecompositionInstance, NodeInstance
 from .model import Decomposition, MapEdge, Path
 
-__all__ = ["LookupStep", "ScanStep", "QueryPlan", "plan_query", "execute_plan"]
+__all__ = [
+    "LookupStep",
+    "ScanStep",
+    "QueryPlan",
+    "plan_query",
+    "execute_plan",
+    "converging_plans",
+]
 
 #: Symbolic container size at which plan costs are compared when no live
 #: sizes are available (e.g. planning against a decomposition with no
@@ -81,14 +101,28 @@ PlanStep = Union[LookupStep, ScanStep]
 
 
 class QueryPlan:
-    """A straight-line plan: one step per edge of a root-to-leaf path."""
+    """A straight-line plan: one step per edge of a root-to-leaf path.
 
-    __slots__ = ("path", "steps", "pattern_columns")
+    ``leaf_shared`` records that the plan's leaf node has several parent
+    edges: every converging path yields the *same* record objects, so two
+    lookup-only plans over such a leaf are interchangeable up to access
+    cost (the planner's cross-branch-join degeneracy, see the module
+    docstring).
+    """
 
-    def __init__(self, path: Path, steps: List[PlanStep], pattern_columns: ColumnSet):
+    __slots__ = ("path", "steps", "pattern_columns", "leaf_shared")
+
+    def __init__(
+        self,
+        path: Path,
+        steps: List[PlanStep],
+        pattern_columns: ColumnSet,
+        leaf_shared: bool = False,
+    ):
         self.path = path
         self.steps = list(steps)
         self.pattern_columns = pattern_columns
+        self.leaf_shared = leaf_shared
 
     @property
     def scan_count(self) -> int:
@@ -149,6 +183,7 @@ def plan_query(
             data distribution does.
     """
     bound = columns(pattern_columns)
+    parent_counts = decomposition.parent_counts()
     best = best_lookup = None
     best_plan = best_lookup_plan = None
     for path_index, path in enumerate(decomposition.paths()):
@@ -158,7 +193,9 @@ def plan_query(
                 steps.append(LookupStep(e, edge_index))
             else:
                 steps.append(ScanStep(e, edge_index))
-        plan = QueryPlan(path, steps, bound)
+        plan = QueryPlan(
+            path, steps, bound, leaf_shared=parent_counts.get(id(path.leaf), 0) >= 2
+        )
         if sizes is None:
             rank = (plan.scan_count, plan.estimated_cost(), path_index)
         else:
@@ -183,6 +220,43 @@ def plan_query(
             )
         return best_lookup_plan
     return best_plan
+
+
+def converging_plans(
+    decomposition: Decomposition,
+    pattern_columns: Union[str, Iterable[str]],
+) -> List[QueryPlan]:
+    """Every lookup-only plan landing on one shared leaf for this pattern.
+
+    When the pattern binds a shared leaf's full bound column set, each
+    branch that reaches the leaf by lookups alone is an equivalent access
+    path: executing any of them yields the *identical* record objects (the
+    sharing invariant), so a cross-branch hash-join between them is the
+    degenerate identity join.  Returns the equivalence class (possibly
+    empty — e.g. when the pattern leaves some bound column free), cheapest
+    plan first under the symbolic cost model.  :func:`plan_query` already
+    picks the cheapest member; this helper exposes the whole class for
+    consumers (and tests) that rely on the identity guarantee.
+    """
+    bound = columns(pattern_columns)
+    parent_counts = decomposition.parent_counts()
+    target: Optional[int] = None
+    plans: List[QueryPlan] = []
+    for path in decomposition.paths():
+        if parent_counts.get(id(path.leaf), 0) < 2:
+            continue
+        if not path.bound <= bound:
+            continue
+        if target is None:
+            target = id(path.leaf)
+        elif id(path.leaf) != target:
+            continue  # Equivalence holds per shared leaf, not across leaves.
+        steps: List[PlanStep] = [
+            LookupStep(e, index) for index, e in zip(path.edge_indices, path.edges)
+        ]
+        plans.append(QueryPlan(path, steps, bound, leaf_shared=True))
+    plans.sort(key=lambda plan: plan.estimated_cost())
+    return plans
 
 
 def execute_plan(

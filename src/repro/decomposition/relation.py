@@ -130,6 +130,16 @@ class DecomposedRelation(RelationInterface):
                     self.instance.remove_tuple(existing)
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
+        """Remove every tuple extending *pattern*.
+
+        Victims are found through the cheapest branch only (the plan chosen
+        by :meth:`plan_for` — e.g. one hash lookup when the pattern binds a
+        key); the other branches are never scanned for victims.  Per
+        victim, ``remove_tuple`` unlinks the remaining branches directly:
+        shared children resolve through the instance's registry and
+        intrusive containers unlink in O(1), so a multi-branch removal on a
+        shared layout costs O(1) per branch instead of a per-branch scan.
+        """
         pattern = coerce_tuple(pattern)
         self.spec.check_partial_tuple(pattern, role="removal pattern")
         for victim in self._matches(pattern):

@@ -142,7 +142,10 @@ class AssociativeContainer(abc.ABC):
     #: ``"hash"`` — a Python dict with O(1) probes; ``"tree"`` — a dict whose
     #: probes are charged ``log2(n)`` accesses (matching the cost model of a
     #: balanced tree); ``"list"`` — a plain list of entries with genuinely
-    #: linear search, so compiled list layouts keep their real asymptotics.
+    #: linear search, so compiled list layouts keep their real asymptotics;
+    #: ``"intrusive"`` — a dict charged like an intrusive linked list: key
+    #: *searches* cost ``n`` accesses (an unordered list cannot probe), but
+    #: linking a known-new entry and unlinking a held entry cost 1.
     #: Structures registered by users default to ``"hash"``.
     CODEGEN_STRATEGY: str = "hash"
 
@@ -157,6 +160,14 @@ class AssociativeContainer(abc.ABC):
     def scan_cost(cls, n: float) -> float:
         """Expected accesses to iterate over all *n* entries (default: ``n``)."""
         return max(1.0, float(n))
+
+    @classmethod
+    def unlink_cost(cls, n: float) -> float:
+        """Expected accesses to remove an entry whose *value* the caller
+        already holds (default: the entry must still be found by key, so the
+        lookup cost).  Intrusive structures override this with ``O(1)`` —
+        the property that makes shared decompositions cheap to update."""
+        return cls.estimate_accesses(n)
 
     # -- core operations -----------------------------------------------------------
 
@@ -189,6 +200,16 @@ class AssociativeContainer(abc.ABC):
         containers override this with a constant-time unlink.
         """
         return self.remove(key)
+
+    def insert_unique(self, key: Tuple, value: Any) -> None:
+        """Insert an entry the caller guarantees is not already present.
+
+        Non-intrusive containers fall back to :meth:`insert` (which may
+        search for an existing entry); intrusive containers override this
+        with a constant-time link.  Decomposition instances use it when the
+        shared-node registry proves a key is new to every parent container.
+        """
+        self.insert(key, value)
 
     def keys(self) -> Iterator[Tuple]:
         for key, _ in self.items():

@@ -102,8 +102,10 @@ def structure_names() -> List[str]:
 def structure_cost(name: str, n: float, operation: str = "lookup") -> float:
     """Cost-model hook by structure *name*: expected accesses for *operation*.
 
-    ``operation`` is ``"lookup"`` (the per-key cost ``m_ψ(n)``) or
-    ``"scan"`` (full iteration).  The query planner's step costs
+    ``operation`` is ``"lookup"`` (the per-key cost ``m_ψ(n)``), ``"scan"``
+    (full iteration) or ``"unlink"`` (removal of an entry whose value the
+    caller already holds — O(1) for intrusive structures, the lookup cost
+    otherwise).  The query planner's step costs
     (:mod:`repro.decomposition.plan`) go through this entry point, so
     user-registered containers participate in cost estimation with no
     further wiring; the autotuner (see ROADMAP) will use it the same way.
@@ -113,7 +115,11 @@ def structure_cost(name: str, n: float, operation: str = "lookup") -> float:
         return cls.estimate_accesses(n)
     if operation == "scan":
         return cls.scan_cost(n)
-    raise DecompositionError(f"unknown cost operation {operation!r}; use 'lookup' or 'scan'")
+    if operation == "unlink":
+        return cls.unlink_cost(n)
+    raise DecompositionError(
+        f"unknown cost operation {operation!r}; use 'lookup', 'scan' or 'unlink'"
+    )
 
 
 def size_class(n: float) -> int:

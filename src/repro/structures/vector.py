@@ -59,6 +59,16 @@ class VectorMap(AssociativeContainer):
         self._entries.append((key, value))
         self._size += 1
 
+    def insert_unique(self, key: Tuple, value: Any) -> None:
+        """Constant-time append of a key the caller guarantees is new (no
+        duplicate scan) — used by shared-node registries, and what keeps
+        interpreted access counts comparable to the compiled lowering."""
+        COUNTER.count_insert()
+        COUNTER.count_allocation()
+        COUNTER.count_access()
+        self._entries.append((key, value))
+        self._size += 1
+
     def lookup(self, key: Tuple) -> Any:
         COUNTER.count_lookup()
         index = self._find_index(key)

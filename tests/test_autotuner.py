@@ -192,14 +192,30 @@ class TestScorer:
         chained = parse_decomposition("ns, pid -> dlist {state, cpu}")
         assert static_cost(indexed, profile) < static_cost(chained, profile)
 
-    def test_memory_proxy_counts_edges_across_branches(self):
+    def test_memory_proxy_counts_edges_and_residuals(self):
         single = parse_decomposition("ns, pid -> htable {state, cpu}")
         branched = parse_decomposition(
             "[ns -> htable pid -> btree {state, cpu}"
             " ; state -> htable (ns, pid -> dlist {cpu})]"
         )
-        assert memory_proxy(single) == 1
-        assert memory_proxy(branched) == 4
+        # Distinct edges + residual columns per distinct leaf.
+        assert memory_proxy(single) == 1 + 2
+        assert memory_proxy(branched) == 4 + (2 + 1)
+
+    def test_memory_proxy_rewards_node_sharing(self):
+        """A record shared by two branches pays its residual once; the
+        per-branch-copy twin pays one residual per branch."""
+        shared = parse_decomposition(
+            "[ns, pid -> htable (state -> htable @rec)"
+            " ; state -> htable (ns, pid -> ilist @rec)] where @rec = {cpu}"
+        )
+        copied = parse_decomposition(
+            "[ns, pid -> htable {state, cpu}"
+            " ; state -> htable (ns, pid -> dlist {cpu})]"
+        )
+        assert memory_proxy(shared) == 4 + 1
+        assert memory_proxy(copied) == 3 + (2 + 1)
+        assert memory_proxy(shared) < memory_proxy(copied)
 
     def test_exact_accesses_is_deterministic(self, scheduler_spec):
         trace = Trace(
