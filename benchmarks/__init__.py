@@ -9,8 +9,8 @@ and reports throughput plus deterministic
 
 Usage::
 
-    PYTHONPATH=src python -m benchmarks --quick --output BENCH_4.json
-    PYTHONPATH=src python benchmarks/check_regression.py BENCH_4.json benchmarks/baseline.json
+    PYTHONPATH=src python -m benchmarks --quick --output BENCH_5.json
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_5.json benchmarks/baseline.json
 """
 
 from .harness import main, run_all, run_workload

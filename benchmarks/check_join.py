@@ -1,0 +1,150 @@
+"""Fail CI unless the cross-branch join plan pays off on the split workload.
+
+The §4 acceptance gate: on the ``graph_reverse`` workload the hot query
+binds ``{dst}``, whose column is only indexed by the ``dst``-keyed
+key-projection branch while the weights live under the ``src``-keyed
+primary.  The planner must answer it with a **join plan** (Figure 8), and
+that plan must be strictly cheaper — on deterministic
+:class:`~repro.structures.base.OperationCounter` access counts — than the
+best single-path plan over the same populated instance.  The harness
+records the comparison in the report's ``join_plan`` section
+(:func:`measure_join_benefit`); this script validates it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_join.py BENCH_5.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Workload and hot pattern the gate measures.
+WORKLOAD = "graph_reverse"
+HOT_PATTERN = ("dst",)
+
+
+def measure_join_benefit(workload) -> dict:
+    """Replay *workload* on the interpreted tier, then measure the hot
+    pattern's chosen plan against the best single-path plan.
+
+    Both plans run over the identical populated instance and every distinct
+    value of the hot pattern's column(s), under the library-wide
+    :class:`~repro.structures.base.OperationCounter` — machine- and
+    timing-independent.  Returns the ``join_plan`` report section.
+    """
+    from repro.core import Tuple
+    from repro.decomposition import DecomposedRelation, JoinPlan, execute_plan, plan_query
+    from repro.structures import COUNTER
+
+    from .harness import replay
+
+    relation = DecomposedRelation(workload.spec, workload.layout)
+    replay(relation, workload.trace)
+
+    pattern_cols = frozenset(HOT_PATTERN)
+    chosen = relation.plan_for(pattern_cols)
+    single = plan_query(
+        relation.decomposition,
+        pattern_cols,
+        sizes=relation.instance.edge_sizes(),
+        spec=workload.spec,
+        allow_join=False,
+    )
+    values = sorted(
+        {tuple(t[c] for c in sorted(pattern_cols)) for t in relation.instance.iter_tuples()}
+    )
+    patterns = [
+        Tuple(dict(zip(sorted(pattern_cols), value))) for value in values
+    ]
+
+    def count(plan) -> int:
+        with COUNTER:
+            for pattern in patterns:
+                rows = list(execute_plan(plan, relation.instance, pattern))
+                assert rows is not None
+            return COUNTER.accesses
+
+    chosen_accesses = count(chosen)
+    single_accesses = count(single)
+    # Both plans must agree on every result (they answer the same queries).
+    for pattern in patterns:
+        left = set(execute_plan(chosen, relation.instance, pattern))
+        right = set(execute_plan(single, relation.instance, pattern))
+        assert left == right, f"join and single-path plans disagree on {pattern!r}"
+    return {
+        "workload": workload.name,
+        "pattern": sorted(pattern_cols),
+        "queries": len(patterns),
+        "chosen_plan": chosen.describe(),
+        "chosen_is_join": isinstance(chosen, JoinPlan),
+        "join_accesses": chosen_accesses,
+        "single_accesses": single_accesses,
+        "single_plan": single.describe(),
+        "speedup": round(single_accesses / chosen_accesses, 2)
+        if chosen_accesses
+        else None,
+    }
+
+
+def check(report: dict) -> list:
+    failures = []
+    section = report.get("join_plan")
+    if section is None:
+        return [
+            "join_plan section missing from the report (was the harness run "
+            "on an older benchmarks/ tree?)"
+        ]
+    if section.get("workload") != WORKLOAD:
+        failures.append(
+            f"join_plan section measures {section.get('workload')!r}, "
+            f"expected {WORKLOAD!r}"
+        )
+    if not section.get("chosen_is_join"):
+        failures.append(
+            f"the planner did not choose a join plan for the hot pattern "
+            f"{section.get('pattern')}: chose {section.get('chosen_plan')!r}"
+        )
+    join_accesses = section.get("join_accesses", 0)
+    single_accesses = section.get("single_accesses", 0)
+    if not join_accesses or join_accesses >= single_accesses:
+        failures.append(
+            f"join plan ({join_accesses:,d} accesses) does not strictly beat "
+            f"the best single-path plan ({single_accesses:,d}) on the "
+            f"split-pattern workload — the cross-branch join advantage is gone"
+        )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        report = json.load(handle)
+    section = report.get("join_plan") or {}
+    if section:
+        print(f"workload {section.get('workload')} · pattern {section.get('pattern')}")
+        print(f"  chosen: {section.get('chosen_plan')}")
+        print(f"  single: {section.get('single_plan')}")
+        print(
+            f"  accesses over {section.get('queries'):,d} queries: "
+            f"join {section.get('join_accesses'):,d} vs single "
+            f"{section.get('single_accesses'):,d}"
+        )
+    failures = check(report)
+    if failures:
+        print("\nJOIN GATE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\njoin gate passed: the join plan is {section.get('speedup')}x cheaper "
+        f"than the best single-path plan"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

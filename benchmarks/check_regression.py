@@ -18,7 +18,7 @@ since at default trace sizes an inversion means something real.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py BENCH_4.json benchmarks/baseline.json
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_5.json benchmarks/baseline.json
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ timing-independent.
 
 Usage::
 
-    python benchmarks/check_sharing.py BENCH_4.json
+    python benchmarks/check_sharing.py BENCH_5.json
 """
 
 from __future__ import annotations

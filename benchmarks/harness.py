@@ -14,9 +14,13 @@ the same operation trace, and records:
   winner's access count next to every hand-written layout replayed on the
   same trace (``--skip-autotune`` drops the column).
 
-Results are written as JSON (``BENCH_4.json`` by convention at the repo
+Results are written as JSON (``BENCH_5.json`` by convention at the repo
 root); ``benchmarks/baseline.json`` holds the checked-in baseline used by
-``benchmarks/check_regression.py``.
+``benchmarks/check_regression.py``.  The report also carries a
+``join_plan`` section (see ``benchmarks/check_join.py``): on the
+split-pattern ``graph_reverse`` workload the hot query's cross-branch join
+plan is measured against the best single-path plan over the same populated
+instance.
 """
 
 from __future__ import annotations
@@ -29,12 +33,14 @@ import time
 from typing import Dict, List, Optional
 
 from repro.autotuner import Trace, autotune, canonical_shape, replay_operations
+from repro.autotuner.scorer import estimate_edge_sizes
 from repro.codegen import compile_relation
 from repro.core import ReferenceRelation
 from repro.core.interface import RelationInterface
 from repro.decomposition import DecomposedRelation, parse_decomposition
 from repro.structures import COUNTER
 
+from . import check_join
 from .workloads import Workload, build_workloads
 
 __all__ = ["main", "run_all", "run_workload", "run_autotuner", "replay"]
@@ -48,7 +54,15 @@ def make_tier(tier: str, workload: Workload) -> RelationInterface:
     if tier == "interpreted":
         return DecomposedRelation(workload.spec, workload.layout)
     if tier == "compiled":
-        cls = compile_relation(workload.spec, workload.layout)
+        # Compile against the workload's trace-estimated container sizes —
+        # the §5 story: the representation (and its compile-time plan
+        # table, including cross-branch join plans on split patterns) is
+        # synthesized for the workload it will run.
+        decomposition = parse_decomposition(workload.layout)
+        sizes = estimate_edge_sizes(
+            decomposition, Trace.from_workload(workload).profile()
+        )
+        cls = compile_relation(workload.spec, decomposition, sizes=sizes)
         return cls()
     raise ValueError(f"unknown tier {tier!r}")
 
@@ -193,6 +207,18 @@ def run_all(
         if tune:
             data["autotuned"] = run_autotuner(workload, verbose=verbose)
         report["workloads"][workload.name] = data
+        if workload.name == check_join.WORKLOAD:
+            # The §4 join gate's measurement: the hot split pattern's join
+            # plan vs the best single-path plan on the populated instance.
+            report["join_plan"] = check_join.measure_join_benefit(workload)
+            if verbose:
+                section = report["join_plan"]
+                print(
+                    f"  {'join-plan':12s} {section['join_accesses']:>12,d} accesses"
+                    f"  vs single-path {section['single_accesses']:,d} "
+                    f"({section['speedup']}x)",
+                    file=sys.stderr,
+                )
     return report
 
 
@@ -205,7 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="small traces (CI smoke mode)"
     )
     parser.add_argument(
-        "--output", default="BENCH_4.json", help="where to write the JSON report"
+        "--output", default="BENCH_5.json", help="where to write the JSON report"
     )
     parser.add_argument(
         "--workloads",

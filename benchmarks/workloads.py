@@ -21,6 +21,7 @@ __all__ = [
     "build_workloads",
     "SHARED_SCHEDULER_LAYOUT",
     "COPIED_SCHEDULER_LAYOUT",
+    "SPLIT_GRAPH_LAYOUT",
 ]
 
 #: ("insert", tuple) | ("remove", pattern) | ("update", pattern, changes)
@@ -233,6 +234,77 @@ def directed_graph(scale: int) -> Workload:
     )
 
 
+#: The §4 split-pattern layout: the primary branch holds full edges keyed
+#: ``src`` then ``dst``; the secondary is a **key-projection branch** — it
+#: indexes only the edge keys by ``dst`` (no weight).  A reverse-neighbour
+#: query ``{dst}`` binds a column that only the secondary serves, but needs
+#: the weight that only the primary stores: the planner answers it with a
+#: cross-branch join plan (lookup the secondary, probe the primary per row)
+#: validated by the Figure 8 FD-closure rule.
+SPLIT_GRAPH_LAYOUT = (
+    "[src -> htable (dst -> htable {weight})"
+    " ; dst -> htable (src -> htable {})]"
+)
+
+
+def graph_reverse(scale: int) -> Workload:
+    """Reverse-neighbour-heavy directed graph: the join plan's home turf.
+
+    The hot query binds ``{dst}`` and wants ``src, weight`` — its bound
+    column lives in the ``dst``-keyed key-projection branch while the
+    weights live only under the ``src``-keyed primary, so the two branches
+    must be joined.  On the best single-path plan the query scans the whole
+    ``src`` level; the join plan pays one secondary lookup plus two primary
+    lookups per in-edge.  ``benchmarks/check_join.py`` gates that the join
+    stays strictly cheaper.
+    """
+    spec = RelationSpec(
+        "src, dst, weight",
+        fds=["src, dst -> weight"],
+        name="edge",
+    )
+    rng = random.Random(0x5EED5)
+    nodes = max(16, scale // 2)
+    edges: Dict[PyTuple[int, int], int] = {}
+    while len(edges) < max(32, scale * 2):
+        edges.setdefault(
+            (rng.randrange(nodes), rng.randrange(nodes)), rng.randrange(100)
+        )
+    trace: List[Operation] = [
+        ("insert", Tuple(src=s, dst=d, weight=w)) for (s, d), w in sorted(edges.items())
+    ]
+    edge_list = sorted(edges)
+    for _ in range(scale * 8):
+        roll = rng.random()
+        src, dst = rng.choice(edge_list)
+        if roll < 0.6:  # The hot split-pattern query: who points at dst?
+            trace.append(("query", Tuple(dst=dst), "src, weight"))
+        elif roll < 0.75:
+            trace.append(("query", Tuple(src=src, dst=dst), "weight"))
+        elif roll < 0.9:
+            trace.append(
+                ("update", Tuple(src=src, dst=dst), Tuple(weight=rng.randrange(100)))
+            )
+        else:
+            trace.append(("remove", Tuple(src=src, dst=dst)))
+            trace.append(("insert", Tuple(src=src, dst=dst, weight=rng.randrange(100))))
+    return Workload(
+        "graph_reverse",
+        "reverse-neighbour graph: key-projection secondary + cross-branch join (§4)",
+        spec,
+        SPLIT_GRAPH_LAYOUT,
+        trace,
+        alternatives={
+            "forward-only": "src -> htable (dst -> htable {weight})",
+            "both-full": (
+                "[src -> htable (dst -> htable {weight})"
+                " ; dst -> htable (src -> htable {weight})]"
+            ),
+            "flat-htable": "src, dst -> htable {weight}",
+        },
+    )
+
+
 def spanning(scale: int) -> Workload:
     """Spanning-forest components, Kruskal-style union by bulk update.
 
@@ -278,6 +350,7 @@ WORKLOADS: Dict[str, Callable[[int], Workload]] = {
     "scheduler": scheduler,
     "scheduler_churn": scheduler_churn,
     "graph": directed_graph,
+    "graph_reverse": graph_reverse,
     "spanning": spanning,
 }
 

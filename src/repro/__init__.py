@@ -43,6 +43,8 @@ from .decomposition import (
     check_adequacy,
     is_adequate,
     parse_decomposition,
+    plan_query,
+    validate_plan,
 )
 
 __version__ = "0.1.0"
@@ -66,6 +68,8 @@ __all__ = [
     "generate_source",
     "is_adequate",
     "parse_decomposition",
+    "plan_query",
+    "validate_plan",
     "synthesize",
     "t",
     "__version__",

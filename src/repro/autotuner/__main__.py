@@ -41,6 +41,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="candidates advancing to exact replay (default: the tuner's)",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the winner's chosen query plan per workload pattern, "
+        "with the Figure 8 validity witness (bound / checked / FD-closed)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -67,6 +73,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         options["exact_top"] = args.exact_top
     result = autotune(workload.spec, trace, **options)
     print(result.describe())
+
+    if args.explain:
+        from ..decomposition.plan import plan_query
+        from .scorer import estimate_edge_sizes
+
+        profile = trace.profile()
+        sizes = estimate_edge_sizes(result.winner_decomposition, profile)
+        print("\nwinner plans per workload pattern (trace-estimated sizes):")
+        patterns = sorted(profile.pattern_columns(), key=lambda p: (len(p), sorted(p)))
+        for pattern in patterns:
+            plan = plan_query(
+                result.winner_decomposition, pattern, sizes=sizes, spec=workload.spec
+            )
+            shown = "{" + ", ".join(sorted(pattern)) + "}"
+            print(f"  {shown or '{}'}: {plan.describe()}")
 
     failures = []
     worst = result.replayed[-1]

@@ -117,7 +117,10 @@ def estimate_edge_sizes(
 
 
 def static_cost(
-    decomposition: Decomposition, profile: TraceProfile, size_scale: float = 1.0
+    decomposition: Decomposition,
+    profile: TraceProfile,
+    size_scale: float = 1.0,
+    spec: Optional[RelationSpec] = None,
 ) -> float:
     """Estimated total accesses for a trace profile on *decomposition*.
 
@@ -136,6 +139,11 @@ def static_cost(
     *size_scale* multiplies every estimated container size — the tuner's
     tie-break recomputes the estimate at inflated sizes, separating
     flavours whose costs coincide at the trace's own (often tiny) sizes.
+
+    With *spec* the planner also searches **cross-branch join plans**
+    (validated by the Figure 8 FD-closure rule), so 2-branch candidates
+    whose split patterns previously forced full scans are costed by their
+    cheapest join instead and ranked fairly against single-path layouts.
     """
     sizes = estimate_edge_sizes(decomposition, profile)
     if size_scale != 1.0:
@@ -156,7 +164,7 @@ def static_cost(
     def plan_cost(pattern: frozenset) -> float:
         cached = plan_costs.get(pattern)
         if cached is None:
-            plan = plan_query(decomposition, pattern, sizes=sizes)
+            plan = plan_query(decomposition, pattern, sizes=sizes, spec=spec)
             cached = plan.estimated_cost(sizes=sizes)
             plan_costs[pattern] = cached
         return cached

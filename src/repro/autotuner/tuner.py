@@ -20,7 +20,14 @@ from ..codegen import compile_relation
 from ..decomposition.model import Decomposition
 from ..decomposition.parser import parse_decomposition
 from .enumerator import canonical_shape, enumerate_decompositions, shape_skeleton
-from .scorer import ScoredCandidate, exact_accesses, memory_proxy, pareto_front, static_cost
+from .scorer import (
+    ScoredCandidate,
+    estimate_edge_sizes,
+    exact_accesses,
+    memory_proxy,
+    pareto_front,
+    static_cost,
+)
 from .trace import Trace
 
 __all__ = ["TuningResult", "autotune", "synthesize"]
@@ -104,13 +111,17 @@ class TuningResult:
 
         The generated constructor defaults to the FD mode the tuning ran
         under, so a class synthesized from an FD-off trace replays its own
-        workload without raising.
+        workload without raising.  The compile-time plan table is ranked
+        against the trace's estimated per-edge container sizes, so plans
+        that only pay off at the workload's data distribution — notably
+        cross-branch joins on split-pattern queries — are compiled in.
         """
         return compile_relation(
             self.spec,
             self.winner.decomposition,
             class_name,
             enforce_fds_default=self.enforce_fds,
+            sizes=estimate_edge_sizes(self.winner.decomposition, self.trace.profile()),
         )
 
     def describe(self) -> str:
@@ -204,7 +215,9 @@ def autotune(
 
     def score(decomposition: Decomposition) -> ScoredCandidate:
         return ScoredCandidate(
-            decomposition, static_cost(decomposition, profile), memory_proxy(decomposition)
+            decomposition,
+            static_cost(decomposition, profile, spec=spec),
+            memory_proxy(decomposition),
         )
 
     def rank(candidate: ScoredCandidate) -> tuple:
@@ -228,7 +241,10 @@ def autotune(
                 continue
             for candidate in group:
                 candidate.static_scaled = static_cost(
-                    candidate.decomposition, profile, size_scale=TIEBREAK_SIZE_SCALE
+                    candidate.decomposition,
+                    profile,
+                    size_scale=TIEBREAK_SIZE_SCALE,
+                    spec=spec,
                 )
 
     candidates = [score(d) for d in enumerated]
@@ -293,7 +309,10 @@ def synthesize(
     score them against the recorded workload, compile the winner.  The
     returned class implements :class:`~repro.core.interface.RelationInterface`
     and carries the chosen layout as ``cls.DECOMPOSITION`` and the full
-    :class:`TuningResult` as ``cls.TUNING``.
+    :class:`TuningResult` as ``cls.TUNING``.  Generated classes are cached
+    by shape (see :func:`repro.codegen.compile_relation`): two tunings
+    whose winners share a canonical shape and size classes receive the
+    *same* class object, whose ``TUNING`` reflects the most recent call.
 
     Keyword options are forwarded to :func:`autotune`.
     """

@@ -24,9 +24,21 @@ compiled       ``compile_relation(spec, d)()``     straight-line specialised
 =============  ==================================  =========================
 
 ``benchmarks/`` drives all three through identical traces and records the
-resulting throughput and operation counts in ``BENCH_4.json``.
+resulting throughput and operation counts in ``BENCH_5.json``.
 """
 
-from .compiler import MAX_ENUMERATED_COLUMNS, compile_relation, generate_source
+from .compiler import (
+    MAX_ENUMERATED_COLUMNS,
+    clear_codegen_cache,
+    codegen_cache_stats,
+    compile_relation,
+    generate_source,
+)
 
-__all__ = ["MAX_ENUMERATED_COLUMNS", "compile_relation", "generate_source"]
+__all__ = [
+    "MAX_ENUMERATED_COLUMNS",
+    "clear_codegen_cache",
+    "codegen_cache_stats",
+    "compile_relation",
+    "generate_source",
+]

@@ -47,16 +47,30 @@ from __future__ import annotations
 
 import re
 from itertools import count as _count_from
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Union
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
 
+from ..core.errors import DecompositionError
 from ..core.spec import RelationSpec
 from ..decomposition.adequacy import check_adequacy
-from ..decomposition.model import Decomposition, DecompNode, MapEdge, Path
+from ..decomposition.model import (
+    Decomposition,
+    DecompNode,
+    MapEdge,
+    Path,
+    format_decomposition,
+)
 from ..decomposition.parser import parse_decomposition
-from ..decomposition.plan import LookupStep, PlanStep, ScanStep, plan_query
+from ..decomposition.plan import JoinPlan, LookupStep, PlanStep, ScanStep, plan_query
+from ..structures.registry import canonical_structure_name, size_class
 from .emitter import Emitter
 
-__all__ = ["MAX_ENUMERATED_COLUMNS", "compile_relation", "generate_source"]
+__all__ = [
+    "MAX_ENUMERATED_COLUMNS",
+    "clear_codegen_cache",
+    "codegen_cache_stats",
+    "compile_relation",
+    "generate_source",
+]
 
 #: Specialised query methods are generated for *every* subset of the
 #: specification columns up to this width (2**6 = 64 methods).  Wider
@@ -86,12 +100,20 @@ class _RelationCompiler:
         decomposition: Decomposition,
         class_name: str,
         enforce_fds_default: bool = True,
+        sizes: Optional[Mapping[MapEdge, float]] = None,
     ):
         check_adequacy(decomposition, spec)
         self.spec = spec
         self.decomposition = decomposition
         self.class_name = class_name
         self.enforce_fds_default = enforce_fds_default
+        #: Optional per-edge container-size estimates (e.g. the autotuner's
+        #: trace-derived :func:`~repro.autotuner.scorer.estimate_edge_sizes`).
+        #: The compile-time plan table is chosen against them, so a class
+        #: compiled for a workload whose split-pattern queries profit from a
+        #: cross-branch join gets the join plan — without them plans are
+        #: ranked at the symbolic uniform size, which cannot see skew.
+        self.sizes = sizes
         self.cols = tuple(sorted(spec.columns))
         self.col_index = {c: i for i, c in enumerate(self.cols)}
         self.paths: List[Path] = decomposition.paths()
@@ -264,34 +286,42 @@ class _RelationCompiler:
 
     # -- plan-shaped row generators ---------------------------------------------
 
-    def _emit_plan_rows(
-        self, path: Path, steps: Sequence[PlanStep], pattern_cols: FrozenSet[str]
-    ) -> None:
-        """Emit the body of a row generator walking *path* with *steps*.
+    def _emit_chain(
+        self,
+        path: Path,
+        steps: Sequence[PlanStep],
+        known: Dict[str, str],
+        in_loop: bool,
+    ) -> "tuple[Dict[str, str], int]":
+        """Emit the walk of one chain; returns ``(exprs, opened_loops)``.
 
-        The emitted code yields plain rows (value tuples in sorted column
-        order).  Lookup steps descend through one container entry; scan
-        steps open a loop and filter entries against the pattern; the
-        residual pattern columns are compared at the leaf.
+        *known* maps columns already bound in the emitted scope (pattern
+        variables, or — for a join's probe side — the build side's row
+        variables) to their expressions.  Lookup steps probe with known
+        expressions; scan steps open a loop, comparing scanned key columns
+        against known expressions and binding the rest; leaf residuals are
+        likewise compared when known (the explicit residual filter, and a
+        join's common-column agreement) and bound when not.  The caller
+        emits the leaf payload (a ``yield`` or a hash-table insert) and
+        then pops *opened_loops* indent levels.  *in_loop* tells the walker
+        whether a miss must ``continue`` an enclosing loop instead of
+        returning from the generator.
         """
         em = self.em
-        em.line("en = _C.enabled")
-        pvars: Dict[str, str] = {}
-        for col in sorted(pattern_cols):
-            var = f"p{self.col_index[col]}"
-            em.line(f"{var} = p[{col!r}]")
-            pvars[col] = var
-        exprs: Dict[str, str] = dict(pvars)
+        exprs: Dict[str, str] = dict(known)
         opened_loops = 0
         node = self.decomposition.root
         current = "self._root"
+
+        def fail() -> str:
+            return "continue" if (opened_loops or in_loop) else "return"
 
         if not path.edges:
             uvar = self._gensym("u")
             em.line(f"{uvar} = self._root")
             em.line(f"if {uvar} is _MISS:")
             with em.indent():
-                em.line("return")
+                em.line(fail())
             current = uvar
 
         for step in steps:
@@ -299,14 +329,12 @@ class _RelationCompiler:
             cvar = self._gensym("c")
             em.line(f"{cvar} = {self._container_expr(node, current, step.edge_index)}")
             if isinstance(step, LookupStep):
-                kexpr = self._key_expr(e, lambda c: pvars[c])
+                kexpr = self._key_expr(e, lambda c: exprs[c])
                 nvar = self._gensym("n")
                 self._emit_get(e, nvar, cvar, kexpr)
                 em.line(f"if {nvar} is _MISS:")
                 with em.indent():
-                    em.line("continue" if opened_loops else "return")
-                for kc in e.key:
-                    exprs[kc] = pvars[kc]
+                    em.line(fail())
             else:
                 self._emit_access_count(e, cvar, scan=True)
                 kvar = self._gensym("k")
@@ -323,12 +351,13 @@ class _RelationCompiler:
                 opened_loops += 1
                 key_cols = sorted(e.key)
                 for j, kc in enumerate(key_cols):
-                    exprs[kc] = kvar if len(key_cols) == 1 else f"{kvar}[{j}]"
-                for kc in key_cols:
-                    if kc in pattern_cols:
-                        em.line(f"if {exprs[kc]} != {pvars[kc]}:")
+                    scanned = kvar if len(key_cols) == 1 else f"{kvar}[{j}]"
+                    if kc in exprs:
+                        em.line(f"if {scanned} != {exprs[kc]}:")
                         with em.indent():
                             em.line("continue")
+                    else:
+                        exprs[kc] = scanned
             node = e.child
             current = nvar
 
@@ -336,14 +365,84 @@ class _RelationCompiler:
         # A shared unit leaf stores its residual boxed in a one-slot cell.
         base = f"{current}[0]" if self._is_shared(path.leaf) else current
         for j, uc in enumerate(unit_cols):
-            exprs[uc] = base if len(unit_cols) == 1 else f"{base}[{j}]"
-        for uc in unit_cols:
-            if uc in pattern_cols:
-                em.line(f"if {exprs[uc]} != {pvars[uc]}:")
+            leaf_expr = base if len(unit_cols) == 1 else f"{base}[{j}]"
+            if uc in exprs:
+                em.line(f"if {leaf_expr} != {exprs[uc]}:")
                 with em.indent():
-                    em.line("continue" if opened_loops else "return")
+                    em.line(fail())
+            else:
+                exprs[uc] = leaf_expr
+        return exprs, opened_loops
+
+    def _emit_pattern_vars(self, pattern_cols: FrozenSet[str]) -> Dict[str, str]:
+        pvars: Dict[str, str] = {}
+        for col in sorted(pattern_cols):
+            var = f"p{self.col_index[col]}"
+            self.em.line(f"{var} = p[{col!r}]")
+            pvars[col] = var
+        return pvars
+
+    def _emit_plan_rows(
+        self, path: Path, steps: Sequence[PlanStep], pattern_cols: FrozenSet[str]
+    ) -> None:
+        """Emit the body of a row generator walking one full-coverage chain,
+        yielding plain rows (value tuples in sorted column order)."""
+        em = self.em
+        em.line("en = _C.enabled")
+        pvars = self._emit_pattern_vars(pattern_cols)
+        exprs, opened_loops = self._emit_chain(path, steps, pvars, in_loop=False)
         em.line("yield " + self._tuple_literal([exprs[c] for c in self.cols]))
         em.pop(opened_loops)
+
+    def _emit_join_rows(self, plan: JoinPlan, pattern_cols: FrozenSet[str]) -> None:
+        """Emit a join query method: build side first, then the probe side.
+
+        ``style == "probe"``: the probe chain is emitted *inside* the build
+        side's loops with the build row's columns bound, so probe lookups
+        compile to direct container probes keyed by build-side values.
+        ``style == "hash"``: both chains are emitted independently; the
+        build rows are collected into a temporary dict keyed on the join
+        columns and the probe rows matched against it — one counted access
+        per temporary insert and per probe, matching the interpreted tier.
+        """
+        em = self.em
+        em.line("en = _C.enabled")
+        pvars = self._emit_pattern_vars(pattern_cols)
+        if plan.style == "probe":
+            build_exprs, build_loops = self._emit_chain(
+                plan.build.path, plan.build.steps, pvars, in_loop=False
+            )
+            exprs, probe_loops = self._emit_chain(
+                plan.probe.path, plan.probe.steps, build_exprs, in_loop=build_loops > 0
+            )
+            em.line("yield " + self._tuple_literal([exprs[c] for c in self.cols]))
+            em.pop(build_loops + probe_loops)
+            return
+        on_cols = sorted(plan.on)
+        build_cols = sorted(plan.build.produced)
+        em.line("_tbl = {}")
+        build_exprs, build_loops = self._emit_chain(
+            plan.build.path, plan.build.steps, pvars, in_loop=False
+        )
+        em.line("if en: _C.accesses += 1")
+        key = self._tuple_literal([build_exprs[c] for c in on_cols])
+        row = self._tuple_literal([build_exprs[c] for c in build_cols])
+        em.line(f"_tbl.setdefault({key}, []).append({row})")
+        em.pop(build_loops)
+        probe_exprs, probe_loops = self._emit_chain(
+            plan.probe.path, plan.probe.steps, pvars, in_loop=False
+        )
+        em.line("if en: _C.accesses += 1")
+        pkey = self._tuple_literal([probe_exprs[c] for c in on_cols])
+        em.line(f"for _m in _tbl.get({pkey}, ()):")
+        em.push()
+        build_pos = {c: i for i, c in enumerate(build_cols)}
+        merged = [
+            probe_exprs[c] if c in probe_exprs else f"_m[{build_pos[c]}]"
+            for c in self.cols
+        ]
+        em.line("yield " + self._tuple_literal(merged))
+        em.pop(1 + probe_loops)
 
     def _emit_query_method(self, subset: FrozenSet[str], plan) -> str:
         name = f"_q_{self._mask(subset)}"
@@ -351,17 +450,31 @@ class _RelationCompiler:
         with self.em.block(f"def {name}(self, p):"):
             pattern = "{" + ", ".join(sorted(subset)) + "}"
             self.em.docstring(f"Pattern over {pattern}; plan: {plan.describe()}.")
-            self._emit_plan_rows(plan.path, plan.steps, subset)
+            if isinstance(plan, JoinPlan):
+                self._emit_join_rows(plan, subset)
+            else:
+                self._emit_plan_rows(plan.path, plan.steps, subset)
         self.em.line()
         return name
 
     def _emit_rows_path(self, index: int) -> None:
         path = self.paths[index]
         steps = [ScanStep(e, i) for e, i in zip(path.edges, path.edge_indices)]
+        out_cols = sorted(path.covered)
         self._reset_symbols()
         with self.em.block(f"def _rows_path_{index}(self):"):
-            self.em.docstring(f"Scan every row via path {index}: {path.describe()}.")
-            self._emit_plan_rows(path, steps, frozenset())
+            self.em.docstring(
+                f"Scan every row via path {index}: {path.describe()}."
+                + (
+                    ""
+                    if frozenset(out_cols) == frozenset(self.cols)
+                    else f"  Key-projection branch: rows cover ({', '.join(out_cols)})."
+                )
+            )
+            self.em.line("en = _C.enabled")
+            exprs, opened_loops = self._emit_chain(path, steps, {}, in_loop=False)
+            self.em.line("yield " + self._tuple_literal([exprs[c] for c in out_cols]))
+            self.em.pop(opened_loops)
         self.em.line()
 
     # -- straight-line walks for the mutators ------------------------------------
@@ -545,7 +658,12 @@ class _RelationCompiler:
     def generate(self) -> str:
         em = self.em
         subsets = self._pattern_subsets()
-        plans = {subset: plan_query(self.decomposition, subset) for subset in subsets}
+        plans = {
+            subset: plan_query(
+                self.decomposition, subset, sizes=self.sizes, spec=self.spec
+            )
+            for subset in subsets
+        }
         self._emit_module_header()
         self._emit_class_header(subsets, plans)
         with em.indent():
@@ -954,14 +1072,24 @@ class _RelationCompiler:
             )
             em.line("rows = set(self._rows_path_0())")
             for index in range(1, len(self.paths)):
+                path = self.paths[index]
                 ovar = f"other{index}"
                 em.line(f"{ovar} = set(self._rows_path_{index}())")
-                em.line(f"if {ovar} != rows:")
+                if path.covered == frozenset(self.cols):
+                    expected = "rows"
+                else:
+                    # A key-projection branch holds the projection of the
+                    # primary branch's rows onto its own columns.
+                    proj = self._tuple_literal(
+                        [f"r[{self.col_index[c]}]" for c in sorted(path.covered)]
+                    )
+                    expected = f"{{{proj} for r in rows}}"
+                em.line(f"if {ovar} != {expected}:")
                 with em.indent():
                     em.line(
                         "raise WellFormednessError("
                         f'"branches 0 and {index} disagree on %d row(s)" '
-                        f"% len({ovar} ^ rows))"
+                        f"% len({ovar} ^ {expected}))"
                     )
             em.line("if len(rows) != self._count:")
             with em.indent():
@@ -1072,6 +1200,7 @@ def generate_source(
     decomposition: Union[Decomposition, str],
     class_name: Optional[str] = None,
     enforce_fds_default: bool = True,
+    sizes: Optional[Mapping[MapEdge, float]] = None,
 ) -> str:
     """Generate the source of a standalone compiled relation class.
 
@@ -1082,13 +1211,86 @@ def generate_source(
     ``enforce_fds_default`` becomes the generated constructor's default FD
     mode — the autotuner compiles winners tuned on FD-off traces with an
     FD-off default, so the class runs its own workload out of the box.
+    *sizes* are optional per-edge container-size estimates the compile-time
+    plan table is ranked against (the autotuner passes its trace-derived
+    estimates, so workload-profitable join plans are compiled in).  They
+    are keyed by :class:`MapEdge` *identity*, so they only make sense for a
+    :class:`Decomposition` the caller already holds — combining them with a
+    layout string (which would be re-parsed into fresh edge objects, making
+    every size lookup miss silently) is rejected.
     """
     if isinstance(decomposition, str):
+        if sizes is not None:
+            raise DecompositionError(
+                "sizes are keyed by MapEdge identity and cannot be combined "
+                "with a layout string (re-parsing would create fresh edge "
+                "objects and every size estimate would silently miss); parse "
+                "the layout first and pass the Decomposition whose edges the "
+                "sizes were computed for"
+            )
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
     return _RelationCompiler(
-        spec, decomposition, class_name, enforce_fds_default
+        spec, decomposition, class_name, enforce_fds_default, sizes
     ).generate()
+
+
+#: Generated-class cache: ``compile_relation`` is pure in
+#: ``(spec, canonical shape, class name, FD default)``, so repeated
+#: compilations — autotuner replays, benchmark reruns, repeated
+#: ``synthesize`` calls — reuse the class instead of re-generating and
+#: re-``exec``-ing the module.  Structure aliases collapse (``btree`` and
+#: ``avl`` layouts share one entry) because the canonical shape does.
+_CLASS_CACHE: Dict[tuple, type] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_key(
+    spec: RelationSpec,
+    decomposition: Decomposition,
+    class_name: str,
+    enforce_fds_default: bool,
+    sizes: Optional[Mapping[MapEdge, float]],
+) -> tuple:
+    fd_key = tuple(
+        sorted((tuple(sorted(fd.lhs)), tuple(sorted(fd.rhs))) for fd in spec.fds)
+    )
+    shape = format_decomposition(decomposition.root, canonical_structure_name)
+    if sizes is None:
+        size_key: tuple = ()
+    else:
+        # Per-edge size classes in deterministic pre-order: two compiles
+        # whose size estimates bucket identically share a plan table.
+        size_key = tuple(
+            size_class(sizes.get(e, 0.0))
+            for node in decomposition.nodes()
+            for e in node.edges
+        )
+    return (
+        tuple(sorted(spec.columns)),
+        fd_key,
+        spec.name,
+        shape,
+        class_name,
+        enforce_fds_default,
+        size_key,
+    )
+
+
+def codegen_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the generated-class cache (test hook)."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "size": len(_CLASS_CACHE),
+    }
+
+
+def clear_codegen_cache() -> None:
+    """Drop every cached generated class and reset the hit/miss counters."""
+    _CLASS_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 def compile_relation(
@@ -1096,6 +1298,7 @@ def compile_relation(
     decomposition: Union[Decomposition, str],
     class_name: Optional[str] = None,
     enforce_fds_default: bool = True,
+    sizes: Optional[Mapping[MapEdge, float]] = None,
 ) -> type:
     """Compile *decomposition* for *spec* into a relation class.
 
@@ -1106,11 +1309,36 @@ def compile_relation(
     instances with ``cls(enforce_fds=True)``.  The generated module source
     is attached as ``cls.__source__``; the originating objects as
     ``cls.SPEC`` and ``cls.DECOMPOSITION``.
+
+    Classes are cached by ``(spec, canonical_shape(decomposition),
+    class name, FD default, size classes)`` — a repeated compilation
+    returns the same class object (see :func:`codegen_cache_stats`), with
+    ``SPEC`` and ``DECOMPOSITION`` refreshed to the caller's objects
+    (shape-equal by construction).  Because the class is shared, metadata
+    attributes callers hang on it — including ``TUNING`` from
+    :func:`repro.autotuner.synthesize` — always reflect the **most
+    recent** compile; the generated behaviour itself is identical for
+    every key-equal call.  As with :func:`generate_source`, *sizes* are
+    rejected when the decomposition is given as a string.
     """
     if isinstance(decomposition, str):
+        if sizes is not None:
+            raise DecompositionError(
+                "sizes are keyed by MapEdge identity and cannot be combined "
+                "with a layout string; parse the layout first and pass the "
+                "Decomposition whose edges the sizes were computed for"
+            )
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
-    source = generate_source(spec, decomposition, class_name, enforce_fds_default)
+    key = _cache_key(spec, decomposition, class_name, enforce_fds_default, sizes)
+    cached = _CLASS_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["hits"] += 1
+        cached.SPEC = spec  # type: ignore[attr-defined]
+        cached.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+        return cached
+    _CACHE_STATS["misses"] += 1
+    source = generate_source(spec, decomposition, class_name, enforce_fds_default, sizes)
     module_name = f"repro.codegen.generated_{next(_generated_modules)}"
     namespace: Dict[str, object] = {"__name__": module_name}
     exec(compile(source, f"<{module_name}>", "exec"), namespace)
@@ -1118,4 +1346,5 @@ def compile_relation(
     cls.__source__ = source  # type: ignore[attr-defined]
     cls.SPEC = spec  # type: ignore[attr-defined]
     cls.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+    _CLASS_CACHE[key] = cls
     return cls  # type: ignore[return-value]

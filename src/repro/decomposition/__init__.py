@@ -13,8 +13,9 @@ relational specifications (:mod:`repro.core`) and primitive containers
   Section 3.2 (:func:`check_adequacy`, :func:`is_adequate`);
 * :mod:`~repro.decomposition.instance` — populated instances, the
   abstraction function α, and instance well-formedness (Figure 5);
-* :mod:`~repro.decomposition.plan` — straight-line query plans
-  (:func:`plan_query`, :func:`execute_plan`);
+* :mod:`~repro.decomposition.plan` — the recursive query-plan IR: chain
+  plans, cross-branch joins and Figure 8 FD-validity
+  (:func:`plan_query`, :func:`execute_plan`, :func:`validate_plan`);
 * :mod:`~repro.decomposition.relation` — :class:`DecomposedRelation`, the
   relational interface over all of the above.
 """
@@ -23,7 +24,19 @@ from .adequacy import adequacy_problems, check_adequacy, enforced_fds, is_adequa
 from .instance import DecompositionInstance, NodeInstance
 from .model import Decomposition, DecompNode, MapEdge, Path, edge, format_decomposition, unit
 from .parser import parse_decomposition, tokenize
-from .plan import LookupStep, QueryPlan, ScanStep, converging_plans, execute_plan, plan_query
+from .plan import (
+    JoinPlan,
+    LookupStep,
+    PlanWitness,
+    QueryPlan,
+    ResidualFilter,
+    ScanStep,
+    converging_plans,
+    execute_plan,
+    path_steps,
+    plan_query,
+    validate_plan,
+)
 from .relation import DecomposedRelation
 
 __all__ = [
@@ -31,11 +44,14 @@ __all__ = [
     "DecompNode",
     "DecomposedRelation",
     "DecompositionInstance",
+    "JoinPlan",
     "LookupStep",
     "MapEdge",
     "NodeInstance",
     "Path",
+    "PlanWitness",
     "QueryPlan",
+    "ResidualFilter",
     "ScanStep",
     "adequacy_problems",
     "check_adequacy",
@@ -46,7 +62,9 @@ __all__ = [
     "format_decomposition",
     "is_adequate",
     "parse_decomposition",
+    "path_steps",
     "plan_query",
     "tokenize",
     "unit",
+    "validate_plan",
 ]

@@ -34,7 +34,10 @@ Three pieces of the formal development live here:
   :meth:`DecompositionInstance.check_well_formed`): container keys must be
   valuations of their edge's key columns, unit tuples valuations of their
   leaf's unit columns, for branching nodes every outgoing edge must
-  represent exactly the same set of tuples, and — the sharing invariant —
+  represent exactly the *projection* of the primary branch's tuples onto
+  its own covered columns (full-coverage branches therefore agree
+  exactly; a key-projection branch holds the key subset — see
+  :mod:`repro.decomposition.adequacy`), and — the sharing invariant —
   every parent edge of a shared node must reference the *same* object for
   one binding;
 * the primitive **mutators** ``insert_tuple`` / ``remove_tuple`` used by
@@ -181,8 +184,20 @@ class DecompositionInstance:
         surface FD violations instead (``DecomposedRelation`` with
         ``enforce_fds=True``) check before calling.
         """
-        for conflict in self._conflicts(self.root, tup, Tuple.empty()):
-            self.remove_tuple(conflict)
+        for conflict in sorted(
+            self._conflicts(self.root, tup, Tuple.empty()), key=Tuple.sort_key
+        ):
+            if conflict.columns == self.spec.columns:
+                self.remove_tuple(conflict)
+                continue
+            # A conflict surfaced on a key-projection branch is only a
+            # projection of its stored tuple; resolve it to the full
+            # tuple(s) through the primary branch before removing.  Rare
+            # path: DecomposedRelation evicts spec-FD conflicts before
+            # calling insert_tuple, so this triggers only for direct
+            # instance use.
+            for victim in [t for t in self.iter_tuples() if t.extends(conflict)]:
+                self.remove_tuple(victim)
         if self._insert(self.root, tup, _OpContext()):
             self._tuple_count += 1
 
@@ -442,7 +457,11 @@ class DecompositionInstance:
                 )
             return {binding.merge(instance.unit_value)}
         branch_sets: List[Set[Tuple]] = []
+        branch_columns: List[ColumnSet] = []
         for container, e in zip(instance.containers, node.edges):
+            branch_columns.append(
+                binding.columns | self.decomposition.edge_coverage(e)
+            )
             tuples: Set[Tuple] = set()
             for key, child in container.items():
                 if key.columns != e.key:
@@ -482,9 +501,14 @@ class DecompositionInstance:
                     )
                 tuples |= child_tuples
             branch_sets.append(tuples)
-        for later in branch_sets[1:]:
-            if later != branch_sets[0]:
-                missing = branch_sets[0] ^ later
+        for index, later in enumerate(branch_sets[1:], start=1):
+            # A key-projection branch must hold exactly the projection of
+            # the primary branch's tuples onto its own columns (adequacy's
+            # branch-keyness makes the projection injective, so set sizes
+            # agree too); full-coverage branches compare unprojected.
+            expected = {t.restrict(branch_columns[index]) for t in branch_sets[0]}
+            if later != expected:
+                missing = expected ^ later
                 raise WellFormednessError(
                     f"the branches of a node disagree on {len(missing)} tuple(s): "
                     f"{sorted(missing, key=lambda t: t.sort_key())!r}"

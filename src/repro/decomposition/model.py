@@ -189,7 +189,7 @@ class Decomposition:
     :func:`repro.decomposition.adequacy.check_adequacy`.
     """
 
-    __slots__ = ("name", "root", "_paths", "_node_bounds", "_parent_counts")
+    __slots__ = ("name", "root", "_paths", "_node_bounds", "_parent_counts", "_coverage")
 
     #: Guard against pathological graphs: branching nodes multiply paths.
     MAX_PATHS = 64
@@ -202,6 +202,7 @@ class Decomposition:
         self._paths: List[Path] = []
         self._node_bounds: Optional[Dict[int, List[ColumnSet]]] = None
         self._parent_counts: Optional[Dict[int, int]] = None
+        self._coverage: Optional[Dict[int, ColumnSet]] = None
         self._validate()
 
     # -- structural validation -------------------------------------------------
@@ -338,6 +339,43 @@ class Decomposition:
                 f"must have a single type"
             )
         return entries[0]
+
+    def node_coverage(self) -> Dict[int, ColumnSet]:
+        """The columns each node's subtree reads or binds, keyed by ``id(node)``.
+
+        A unit leaf covers its unit columns; a map node covers the union of
+        ``edge.key ∪ coverage(child)`` over its edges.  With
+        **key-projection branches** (a branch storing only a key subset of
+        the columns — see :mod:`repro.decomposition.adequacy`) coverage
+        differs per branch, and the planner's join search, the instances'
+        projected branch-agreement check and the code generator's
+        projected well-formedness all consume this map.  Cached — the graph
+        is immutable after validation.
+        """
+        if self._coverage is not None:
+            return self._coverage
+        coverage: Dict[int, ColumnSet] = {}
+
+        def visit(node: DecompNode) -> ColumnSet:
+            cached = coverage.get(id(node))
+            if cached is not None:
+                return cached
+            if node.is_unit:
+                result = node.unit_columns
+            else:
+                result = frozenset()
+                for e in node.edges:
+                    result |= e.key | visit(e.child)
+            coverage[id(node)] = result
+            return result
+
+        visit(self.root)
+        self._coverage = coverage
+        return coverage
+
+    def edge_coverage(self, e: MapEdge) -> ColumnSet:
+        """The columns one branch accounts for: ``e.key ∪ coverage(e.child)``."""
+        return e.key | self.node_coverage()[id(e.child)]
 
     def structures(self) -> List[str]:
         """The container names used by the decomposition, sorted."""

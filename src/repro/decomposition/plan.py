@@ -1,47 +1,60 @@
-"""Query plans over decomposition instances (the Section 4 plan skeleton).
+"""Query plans over decomposition instances (the Section 4 plan IR).
 
-A query ``query r s C`` is answered by walking one root-to-leaf path of the
-decomposition.  At each edge the planner emits one of two step kinds:
+Plans form a small recursive IR instead of a single straight line:
 
-* :class:`LookupStep` — the edge's key columns are all bound by the query
-  pattern, so a single container lookup descends into one sub-instance
-  (cost ``m_ψ(n)``);
-* :class:`ScanStep` — otherwise every entry of the container is visited,
-  skipping entries whose key contradicts the pattern (cost ``n``).
+* a **chain** (:class:`QueryPlan`) walks one root-to-leaf path.  At each
+  edge the planner emits a :class:`LookupStep` when the edge's key columns
+  are all bound (by the query pattern, or — inside a join — by the other
+  branch's output) or a :class:`ScanStep` otherwise, and finishes with an
+  explicit :class:`ResidualFilter` over the bound columns the leaf's unit
+  tuple must be checked against;
+* a **join** (:class:`JoinPlan`) composes two chains over *different*
+  branches: the ``build`` side is evaluated first and the ``probe`` side is
+  planned with the build side's columns treated as bound — so a probe whose
+  keys become fully bound turns into per-row container lookups (the
+  cheaper-side/other-side choice the cost model makes from live
+  ``edge_sizes``), while an independent probe is enumerated once and
+  matched through a temporary hash table on the common columns
+  (``style == "hash"``).
 
-Because adequacy guarantees every path binds or stores every column, any
-single path can answer any query; the planner chooses the cheapest path
-under the containers' cost models (fewest scans first, then estimated
-accesses).  It already exploits the structure the decomposition provides: a
-pattern bound on ``{state}`` uses the ``state`` index branch while a
-pattern on ``{ns, pid}`` uses the primary-key branch.
+**Validity (the paper's Figure 8).**  With partial-coverage branches
+(key-projection secondaries, see :mod:`repro.decomposition.adequacy`) a
+plan is no longer correct merely because adequacy says "any path binds
+every column".  A plan is *valid* iff the columns it binds and checks
+determine every specification column under the FD closure::
 
-**Cross-branch convergence on shared nodes**: when branches share a
-sub-node (Section 3's shared records), every path that reaches the shared
-node with its bound columns covered by the pattern lands on the *same*
-record object — a cross-branch hash-join between the converging branches
-degenerates to picking the cheapest access path, because the "join" on the
-shared node's bound columns is object identity, not a tuple comparison.
-The planner records this on the plan (:attr:`QueryPlan.leaf_shared`), ranks
-the converging paths purely by access cost, and downstream consumers rely
-on the identity: ``DecomposedRelation.remove`` finds victims through the
-cheapest branch and unlinks the very same record objects from every other
-branch in O(1) via the instance's shared registry and intrusive containers.
-:func:`converging_plans` exposes the full set of equivalent lookup-only
-plans for inspection and testing.
+    fd.closure(bound ∪ checked) ⊇ C
 
-:func:`plan_query` is pure planning; :func:`execute_plan` runs a plan
-against a :class:`~repro.decomposition.instance.DecompositionInstance`.
+and a join is additionally *lossless*: the columns the two sides are
+matched on must determine one side's full column set, otherwise rows of
+two different stored tuples could be glued into a tuple the relation never
+contained.  :func:`plan_query` only returns valid plans and records the
+witness on the plan (:class:`PlanWitness`, shown by ``describe()``);
+:func:`validate_plan` re-checks any plan — including hand-built ones — and
+raises :class:`QueryPlanError` naming the underdetermined columns.
+
+**Cross-branch convergence on shared nodes** (Section 3) is the degenerate
+join: branches converging on a shared record join on the record's full
+bound column set, and the "join" is object identity — so the planner just
+picks the cheapest converging chain (:attr:`QueryPlan.leaf_shared`,
+:func:`converging_plans`).  Both the convergence helper and the join
+search enumerate candidate chains through one shared helper,
+:func:`path_steps`.
+
+:func:`plan_query` is pure planning; :func:`execute_plan` runs any plan of
+the IR against a :class:`~repro.decomposition.instance.DecompositionInstance`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Mapping, Optional, Union
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
 from ..core.columns import ColumnSet, columns, format_columns
 from ..core.errors import QueryPlanError
+from ..core.fd import FDSet
+from ..core.spec import RelationSpec
 from ..core.tuples import Tuple
-from ..structures.base import MISSING
+from ..structures.base import COUNTER, MISSING
 from ..structures.registry import structure_cost
 from .instance import DecompositionInstance, NodeInstance
 from .model import Decomposition, MapEdge, Path
@@ -49,8 +62,13 @@ from .model import Decomposition, MapEdge, Path
 __all__ = [
     "LookupStep",
     "ScanStep",
+    "ResidualFilter",
+    "PlanWitness",
     "QueryPlan",
+    "JoinPlan",
+    "path_steps",
     "plan_query",
+    "validate_plan",
     "execute_plan",
     "converging_plans",
 ]
@@ -66,7 +84,7 @@ EdgeSizes = Mapping[MapEdge, float]
 
 
 class LookupStep:
-    """Descend through one container entry whose key the pattern determines."""
+    """Descend through one container entry whose key the context determines."""
 
     __slots__ = ("edge", "edge_index")
 
@@ -82,7 +100,7 @@ class LookupStep:
 
 
 class ScanStep:
-    """Visit every entry of a container, filtering keys against the pattern."""
+    """Visit every entry of a container, filtering keys against the context."""
 
     __slots__ = ("edge", "edge_index")
 
@@ -97,20 +115,81 @@ class ScanStep:
         return f"scan({self.edge.structure})"
 
 
+class ResidualFilter:
+    """An explicit residual check: the leaf's unit tuple must agree with the
+    bound context on these columns (the plan's ``checked`` contribution)."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, filter_columns: ColumnSet):
+        self.columns: ColumnSet = frozenset(filter_columns)
+
+    def describe(self) -> str:
+        return f"filter[{', '.join(sorted(self.columns))}]"
+
+    def __repr__(self) -> str:
+        return f"ResidualFilter({format_columns(self.columns)})"
+
+
 PlanStep = Union[LookupStep, ScanStep]
 
 
+class PlanWitness:
+    """The Figure 8 validity witness: what a plan binds, checks and closes.
+
+    ``bound`` are the columns the plan reads out of containers and units
+    (key columns of its steps plus unit residuals) together with the
+    pattern columns; ``checked`` are the columns compared rather than
+    introduced — residual filters and a join's matched columns; ``closed``
+    is ``fd.closure(bound ∪ checked)``.  The plan is valid iff ``closed``
+    covers every specification column (``missing`` is empty).
+    """
+
+    __slots__ = ("bound", "checked", "closed", "missing")
+
+    def __init__(
+        self,
+        bound: ColumnSet,
+        checked: ColumnSet,
+        fds: FDSet,
+        required: ColumnSet,
+    ):
+        self.bound = frozenset(bound)
+        self.checked = frozenset(checked)
+        self.closed = fds.closure(self.bound | self.checked)
+        self.missing = frozenset(required) - self.closed
+
+    @property
+    def valid(self) -> bool:
+        return not self.missing
+
+    def describe(self) -> str:
+        text = (
+            f"binds {format_columns(self.bound)} "
+            f"checks {format_columns(self.checked)} "
+            f"closes {format_columns(self.closed)}"
+        )
+        if self.missing:
+            text += f" MISSING {format_columns(self.missing)}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"PlanWitness({self.describe()})"
+
+
 class QueryPlan:
-    """A straight-line plan: one step per edge of a root-to-leaf path.
+    """A chain plan: one step per edge of a root-to-leaf path, plus an
+    explicit residual filter at the leaf.
 
     ``leaf_shared`` records that the plan's leaf node has several parent
     edges: every converging path yields the *same* record objects, so two
     lookup-only plans over such a leaf are interchangeable up to access
-    cost (the planner's cross-branch-join degeneracy, see the module
-    docstring).
+    cost (the planner's degenerate cross-branch join, see the module
+    docstring).  ``witness`` carries the Figure 8 validity witness when the
+    plan was produced with a specification in hand.
     """
 
-    __slots__ = ("path", "steps", "pattern_columns", "leaf_shared")
+    __slots__ = ("path", "steps", "pattern_columns", "leaf_shared", "filter", "witness")
 
     def __init__(
         self,
@@ -118,11 +197,17 @@ class QueryPlan:
         steps: List[PlanStep],
         pattern_columns: ColumnSet,
         leaf_shared: bool = False,
+        residual_filter: Optional[ResidualFilter] = None,
+        witness: Optional[PlanWitness] = None,
     ):
         self.path = path
         self.steps = list(steps)
         self.pattern_columns = pattern_columns
         self.leaf_shared = leaf_shared
+        if residual_filter is None:
+            residual_filter = ResidualFilter(pattern_columns & path.leaf.unit_columns)
+        self.filter = residual_filter
+        self.witness = witness
 
     @property
     def scan_count(self) -> int:
@@ -131,6 +216,11 @@ class QueryPlan:
     @property
     def lookup_count(self) -> int:
         return sum(1 for step in self.steps if isinstance(step, LookupStep))
+
+    @property
+    def produced(self) -> ColumnSet:
+        """The columns this chain physically reads: its path's coverage."""
+        return self.path.covered
 
     def estimated_cost(
         self, n: float = DEFAULT_COST_SIZE, sizes: Optional[EdgeSizes] = None
@@ -153,12 +243,247 @@ class QueryPlan:
                 frontier *= max(1.0, step_n)
         return total
 
+    def estimated_rows(
+        self, n: float = DEFAULT_COST_SIZE, sizes: Optional[EdgeSizes] = None
+    ) -> float:
+        """Upper-bound estimate of the rows the chain yields (scan fan-out)."""
+        rows = 1.0
+        for step in self.steps:
+            if isinstance(step, ScanStep):
+                step_n = n if sizes is None else sizes.get(step.edge, n)
+                rows *= max(1.0, step_n)
+        return rows
+
+    def describe_bare(self) -> str:
+        """The step chain without the validity witness (used inside joins,
+        which print one combined witness for both sides)."""
+        parts = [step.describe() for step in self.steps]
+        if self.filter.columns:
+            parts.append(self.filter.describe())
+        return " -> ".join(parts) or "unit"
+
     def describe(self) -> str:
-        body = " -> ".join(step.describe() for step in self.steps)
-        return body or "unit"
+        body = self.describe_bare()
+        if self.witness is not None:
+            body += f" | {self.witness.describe()}"
+        return body
 
     def __repr__(self) -> str:
         return f"QueryPlan({self.describe()} | pattern={format_columns(self.pattern_columns)})"
+
+
+class JoinPlan:
+    """A cross-branch join of two chain plans (the IR's ``Join`` node).
+
+    The ``build`` chain is evaluated against the pattern alone.  The
+    ``probe`` chain was planned with ``pattern ∪ build.produced`` treated
+    as bound:
+
+    * ``style == "probe"`` — the probe chain is re-walked once per build
+      row with the row's columns bound, so probe lookups become direct
+      container probes keyed by build-side values (the common case: a
+      cheap secondary branch drives per-row lookups into the primary);
+    * ``style == "hash"`` — the probe chain is independent of the build
+      side's bindings; it is enumerated once and the two row sets are
+      matched through a temporary hash table keyed on ``on`` (both the
+      temporary inserts and the probes are charged one counted access, in
+      this interpreter and in the compiled tier alike).
+
+    ``on`` is the full set of columns the two sides share — rows are glued
+    only when they agree on all of them; the planner's lossless check
+    (``closure(on) ⊇ one side``) is what makes that sound.
+    """
+
+    __slots__ = ("build", "probe", "on", "pattern_columns", "style", "witness")
+
+    def __init__(
+        self,
+        build: QueryPlan,
+        probe: QueryPlan,
+        on: ColumnSet,
+        pattern_columns: ColumnSet,
+        style: str = "probe",
+        witness: Optional[PlanWitness] = None,
+    ):
+        if style not in ("probe", "hash"):
+            raise QueryPlanError(f"unknown join style {style!r}; use 'probe' or 'hash'")
+        self.build = build
+        self.probe = probe
+        self.on = frozenset(on)
+        self.pattern_columns = pattern_columns
+        self.style = style
+        self.witness = witness
+
+    leaf_shared = False
+
+    @property
+    def steps(self) -> List[PlanStep]:
+        """Every access step of both sides (build first) — for inspection."""
+        return self.build.steps + self.probe.steps
+
+    @property
+    def scan_count(self) -> int:
+        return self.build.scan_count + self.probe.scan_count
+
+    @property
+    def lookup_count(self) -> int:
+        return self.build.lookup_count + self.probe.lookup_count
+
+    @property
+    def produced(self) -> ColumnSet:
+        return self.build.produced | self.probe.produced
+
+    def estimated_cost(
+        self, n: float = DEFAULT_COST_SIZE, sizes: Optional[EdgeSizes] = None
+    ) -> float:
+        build_cost = self.build.estimated_cost(n, sizes)
+        build_rows = self.build.estimated_rows(n, sizes)
+        probe_cost = self.probe.estimated_cost(n, sizes)
+        if self.style == "probe":
+            return build_cost + build_rows * probe_cost
+        probe_rows = self.probe.estimated_rows(n, sizes)
+        # Temporary hash: one access per build-row insert and per probe-row probe.
+        return build_cost + probe_cost + build_rows + probe_rows
+
+    def estimated_rows(
+        self, n: float = DEFAULT_COST_SIZE, sizes: Optional[EdgeSizes] = None
+    ) -> float:
+        return max(
+            self.build.estimated_rows(n, sizes), self.probe.estimated_rows(n, sizes)
+        )
+
+    def describe(self) -> str:
+        body = (
+            f"join[{', '.join(sorted(self.on))}]"
+            f"(build: {self.build.describe_bare()}; "
+            f"{self.style}: {self.probe.describe_bare()})"
+        )
+        if self.witness is not None:
+            body += f" | {self.witness.describe()}"
+        return body
+
+    def __repr__(self) -> str:
+        return f"JoinPlan({self.describe()} | pattern={format_columns(self.pattern_columns)})"
+
+
+AnyPlan = Union[QueryPlan, JoinPlan]
+
+
+def path_steps(path: Path, bound: ColumnSet) -> List[PlanStep]:
+    """The chain steps walking *path* with *bound* columns available.
+
+    The one shared enumeration used by :func:`plan_query`'s single-path and
+    join searches and by :func:`converging_plans` — an edge whose key is
+    covered by *bound* becomes a :class:`LookupStep`, anything else a
+    :class:`ScanStep`.
+    """
+    return [
+        LookupStep(e, index) if e.key <= bound else ScanStep(e, index)
+        for index, e in zip(path.edge_indices, path.edges)
+    ]
+
+
+def _chain_witness(
+    path: Path, pattern: ColumnSet, fds: FDSet, required: ColumnSet
+) -> PlanWitness:
+    # Only columns the chain physically reads count: a pattern column the
+    # path never binds or checks contributes nothing to validity (the
+    # executor cannot filter on it).
+    return PlanWitness(
+        bound=path.covered,
+        checked=pattern & path.leaf.unit_columns,
+        fds=fds,
+        required=required,
+    )
+
+
+def _chain_plan(
+    path: Path,
+    bound: ColumnSet,
+    pattern: ColumnSet,
+    leaf_shared: bool,
+    spec: Optional[RelationSpec],
+) -> QueryPlan:
+    """Build one chain plan over *path*; *bound* may exceed *pattern* when
+    the chain is a join's probe side (the build side's columns are bound)."""
+    witness = None
+    if spec is not None:
+        witness = _chain_witness(path, pattern, spec.fds, spec.columns)
+    return QueryPlan(
+        path,
+        path_steps(path, bound),
+        pattern,
+        leaf_shared=leaf_shared,
+        residual_filter=ResidualFilter(bound & path.leaf.unit_columns),
+        witness=witness,
+    )
+
+
+def validate_plan(plan: AnyPlan, spec: RelationSpec) -> PlanWitness:
+    """Check a plan against the paper's Figure 8 validity rule.
+
+    Recomputes the witness from the plan's own structure (so hand-built
+    plans are judged on what they actually bind and check, not on a stored
+    witness) and raises :class:`QueryPlanError` naming the underdetermined
+    columns when ``fd.closure(bound ∪ checked)`` misses part of the
+    specification, or when a join's matched columns fail the lossless
+    condition.  Returns the witness on success and stores it on the plan.
+    """
+    fds = spec.fds
+    required = spec.columns
+    # A pattern column the plan never reads cannot be filtered on — the
+    # executor would silently ignore the constraint — so it contributes
+    # nothing to validity and renders the plan unable to answer its own
+    # pattern.
+    unservable = plan.pattern_columns - plan.produced
+    if unservable:
+        raise QueryPlanError(
+            f"plan never binds or checks its own pattern columns "
+            f"{format_columns(unservable)}: it reads only "
+            f"{format_columns(plan.produced)}, so executing it would "
+            f"silently ignore the constraint"
+        )
+    if isinstance(plan, JoinPlan):
+        left, right = plan.build.produced, plan.probe.produced
+        closed_on = fds.closure(plan.on)
+        if not (left <= closed_on or right <= closed_on):
+            undetermined = (left | right) - closed_on
+            raise QueryPlanError(
+                f"join plan is not lossless: matching on "
+                f"{format_columns(plan.on)} determines neither side "
+                f"({format_columns(left)} / {format_columns(right)}); "
+                f"underdetermined columns: {format_columns(undetermined)}"
+            )
+        bound = left | right
+        checked = (
+            plan.on
+            | plan.build.filter.columns
+            | plan.probe.filter.columns
+        )
+    else:
+        bound = plan.produced
+        checked = plan.filter.columns
+    witness = PlanWitness(bound, checked, fds, required)
+    if not witness.valid:
+        raise QueryPlanError(
+            f"plan is not valid under the specification's functional "
+            f"dependencies (Figure 8): closure of bound ∪ checked = "
+            f"{format_columns(witness.closed)} does not determine columns "
+            f"{format_columns(witness.missing)}"
+        )
+    plan.witness = witness
+    return witness
+
+
+def _join_witness(
+    build: QueryPlan, probe: QueryPlan, on: ColumnSet, pattern: ColumnSet, spec: RelationSpec
+) -> PlanWitness:
+    return PlanWitness(
+        bound=build.produced | probe.produced,
+        checked=on | build.filter.columns | probe.filter.columns,
+        fds=spec.fds,
+        required=spec.columns,
+    )
 
 
 def plan_query(
@@ -166,77 +491,165 @@ def plan_query(
     pattern_columns: Union[str, Iterable[str]],
     require_lookup: bool = False,
     sizes: Optional[EdgeSizes] = None,
-) -> QueryPlan:
-    """Choose the cheapest straight-line plan for a pattern over *pattern_columns*.
+    spec: Optional[RelationSpec] = None,
+    allow_join: bool = True,
+) -> AnyPlan:
+    """Choose the cheapest valid plan for a pattern over *pattern_columns*.
 
     Args:
         decomposition: the (validated) decomposition to plan against.
         pattern_columns: the columns the query pattern binds.
         require_lookup: when ``True``, raise :class:`QueryPlanError` unless a
-            plan exists whose every step is a lookup (the paper's "query is
-            supported efficiently" notion used by operation planning).
+            *chain* plan exists whose every step is a lookup (the paper's
+            "query is supported efficiently" notion used by operation
+            planning).
         sizes: optional per-edge live container sizes
             (:meth:`DecompositionInstance.edge_sizes`).  Without them plans
             are ranked structurally (fewest scans first, then the symbolic
             cost at :data:`DEFAULT_COST_SIZE`); with them the estimated cost
-            against the real data leads, so the chosen path flips when the
-            data distribution does.
+            against the real data leads, so the chosen plan flips when the
+            data distribution does — including flips between single-path
+            and join plans.
+        spec: the relational specification.  With it the planner searches
+            cross-branch **join** candidates, validates every candidate by
+            the Figure 8 FD-closure rule, and attaches the validity witness
+            to the returned plan.  Without it only full-coverage single
+            paths are considered (which need no FD reasoning).
+        allow_join: set ``False`` to restrict the search to single-path
+            plans (used e.g. to measure how much a join plan saves).
     """
     bound = columns(pattern_columns)
     parent_counts = decomposition.parent_counts()
-    best = best_lookup = None
-    best_plan = best_lookup_plan = None
-    for path_index, path in enumerate(decomposition.paths()):
-        steps: List[PlanStep] = []
-        for edge_index, e in zip(path.edge_indices, path.edges):
-            if e.key <= bound:
-                steps.append(LookupStep(e, edge_index))
-            else:
-                steps.append(ScanStep(e, edge_index))
-        plan = QueryPlan(
-            path, steps, bound, leaf_shared=parent_counts.get(id(path.leaf), 0) >= 2
+    required = spec.columns if spec is not None else decomposition.covered_columns()
+
+    candidates: List[AnyPlan] = []
+    chain_plans: List[QueryPlan] = []
+    for path in decomposition.paths():
+        leaf_shared = parent_counts.get(id(path.leaf), 0) >= 2
+        plan = _chain_plan(path, bound, bound, leaf_shared, spec)
+        chain_plans.append(plan)
+        if path.covered >= required:
+            candidates.append(plan)
+
+    if spec is not None and allow_join:
+        candidates.extend(
+            _join_candidates(decomposition, bound, spec, chain_plans, parent_counts)
         )
-        if sizes is None:
-            rank = (plan.scan_count, plan.estimated_cost(), path_index)
-        else:
-            rank = (plan.estimated_cost(sizes=sizes), plan.scan_count, path_index)
-        if best is None or rank < best:
-            best, best_plan = rank, plan
-        # With live sizes a scanning plan over tiny containers can outrank a
-        # lookup-only plan; callers asking for require_lookup still deserve
-        # the cheapest lookup-only plan if one exists, so rank those apart.
-        if plan.scan_count == 0 and (best_lookup is None or rank < best_lookup):
-            best_lookup, best_lookup_plan = rank, plan
-    if best_plan is None:
+
+    if not candidates and not chain_plans:
         raise QueryPlanError(
             f"decomposition {decomposition.name!r} has no root-to-leaf paths"
         )
+    if not candidates:
+        raise QueryPlanError(
+            f"no valid plan answers a pattern over {format_columns(bound)} on "
+            f"decomposition {decomposition.name!r}: no single path covers "
+            f"{format_columns(required)} and no valid join combines the branches"
+        )
+
+    def rank(indexed) -> tuple:
+        order, plan = indexed
+        kind = 1 if isinstance(plan, JoinPlan) else 0
+        if sizes is None:
+            return (plan.scan_count, plan.estimated_cost(), kind, order)
+        return (plan.estimated_cost(sizes=sizes), plan.scan_count, kind, order)
+
+    best = min(enumerate(candidates), key=rank)[1]
+    if spec is not None:
+        validate_plan(best, spec)
+
     if require_lookup:
-        if best_lookup_plan is None:
+        lookup_only = [
+            (i, p)
+            for i, p in enumerate(chain_plans)
+            if p.scan_count == 0 and p.produced >= required
+        ]
+        if not lookup_only:
             raise QueryPlanError(
                 f"no lookup-only plan answers a pattern over {format_columns(bound)} "
                 f"on decomposition {decomposition.name!r}; best plan is "
-                f"{best_plan.describe()}"
+                f"{best.describe()}"
             )
-        return best_lookup_plan
-    return best_plan
+        return min(lookup_only, key=rank)[1]
+    return best
+
+
+def _join_candidates(
+    decomposition: Decomposition,
+    pattern: ColumnSet,
+    spec: RelationSpec,
+    chain_plans: Sequence[QueryPlan],
+    parent_counts,
+) -> List[JoinPlan]:
+    """Every valid two-branch join candidate for *pattern*.
+
+    For each ordered pair of distinct paths, the first is the build side
+    (planned against the pattern alone) and the second the probe side
+    (planned with the build side's columns additionally bound).  A pair
+    qualifies when together the sides read every required column, and the
+    full common column set — what the rows are matched on — FD-determines
+    at least one side (the lossless condition that keeps the glued rows
+    real).  Paths converging on one shared leaf are skipped: their join is
+    the degenerate identity join already served by the cheapest single
+    chain (see :func:`converging_plans`).
+    """
+    fds = spec.fds
+    required = spec.columns
+    paths = decomposition.paths()
+    joins: List[JoinPlan] = []
+    for i, build_path in enumerate(paths):
+        if build_path.covered >= required:
+            continue  # Probing adds nothing a full build side does not have.
+        build = chain_plans[i]
+        for j, probe_path in enumerate(paths):
+            if i == j:
+                continue
+            if build_path.leaf is probe_path.leaf and parent_counts.get(
+                id(build_path.leaf), 0
+            ) >= 2:
+                continue  # Degenerate identity join over a shared leaf.
+            produced = build_path.covered | probe_path.covered
+            if not required <= produced:
+                continue
+            on = build_path.covered & probe_path.covered
+            closed_on = fds.closure(on)
+            if not (build_path.covered <= closed_on or probe_path.covered <= closed_on):
+                continue  # Not lossless: the glued rows could be spurious.
+            leaf_shared = parent_counts.get(id(probe_path.leaf), 0) >= 2
+            probe = _chain_plan(
+                probe_path, pattern | build_path.covered, pattern, leaf_shared, spec
+            )
+            witness = _join_witness(build, probe, on, pattern, spec)
+            if not witness.valid:
+                continue
+            joins.append(JoinPlan(build, probe, on, pattern, "probe", witness))
+            if probe.scan_count:
+                # The probe side scans; when those scans do not profit from
+                # the build side's bindings, enumerating the probe once and
+                # matching through a temporary hash beats re-scanning per
+                # build row.  Offer it as a separate candidate and let the
+                # cost ranking decide.
+                independent = _chain_plan(probe_path, pattern, pattern, leaf_shared, spec)
+                joins.append(
+                    JoinPlan(build, independent, on, pattern, "hash", witness)
+                )
+    return joins
 
 
 def converging_plans(
     decomposition: Decomposition,
     pattern_columns: Union[str, Iterable[str]],
 ) -> List[QueryPlan]:
-    """Every lookup-only plan landing on one shared leaf for this pattern.
+    """Every lookup-only chain landing on one shared leaf for this pattern.
 
     When the pattern binds a shared leaf's full bound column set, each
     branch that reaches the leaf by lookups alone is an equivalent access
     path: executing any of them yields the *identical* record objects (the
-    sharing invariant), so a cross-branch hash-join between them is the
-    degenerate identity join.  Returns the equivalence class (possibly
-    empty — e.g. when the pattern leaves some bound column free), cheapest
-    plan first under the symbolic cost model.  :func:`plan_query` already
-    picks the cheapest member; this helper exposes the whole class for
-    consumers (and tests) that rely on the identity guarantee.
+    sharing invariant), so a cross-branch join between them is the
+    degenerate identity join — which is why :func:`plan_query`'s join
+    search skips converging pairs and simply ranks the chains.  Returns the
+    equivalence class (possibly empty — e.g. when the pattern leaves some
+    bound column free), cheapest plan first under the symbolic cost model.
     """
     bound = columns(pattern_columns)
     parent_counts = decomposition.parent_counts()
@@ -251,21 +664,23 @@ def converging_plans(
             target = id(path.leaf)
         elif id(path.leaf) != target:
             continue  # Equivalence holds per shared leaf, not across leaves.
-        steps: List[PlanStep] = [
-            LookupStep(e, index) for index, e in zip(path.edge_indices, path.edges)
-        ]
+        steps = path_steps(path, path.bound)
         plans.append(QueryPlan(path, steps, bound, leaf_shared=True))
     plans.sort(key=lambda plan: plan.estimated_cost())
     return plans
 
 
 def execute_plan(
-    plan: QueryPlan, instance: DecompositionInstance, pattern: Tuple
+    plan: AnyPlan, instance: DecompositionInstance, pattern: Tuple
 ) -> Iterator[Tuple]:
     """Run *plan* against *instance*, yielding the full matching tuples.
 
-    The residual pattern columns (those stored in unit leaves rather than
-    bound by map keys) are filtered at the leaves via ``t ⊇ pattern``.
+    Chain plans walk their path with the pattern as context; join plans
+    evaluate the build chain, then either re-walk the probe chain per build
+    row with the row's columns bound (``style == "probe"``) or enumerate
+    the probe chain once and match through a temporary hash table
+    (``style == "hash"``, charged one counted access per temporary insert
+    and probe, mirroring the compiled tier).
     """
     if not plan.pattern_columns <= pattern.columns:
         raise QueryPlanError(
@@ -273,7 +688,31 @@ def execute_plan(
             f"execute pattern {pattern!r}: the pattern must bind at least the "
             f"planned columns"
         )
+    if isinstance(plan, JoinPlan):
+        yield from _execute_join(plan, instance, pattern)
+        return
     yield from _execute(plan, 0, instance.root, Tuple.empty(), pattern)
+
+
+def _execute_join(
+    plan: JoinPlan, instance: DecompositionInstance, pattern: Tuple
+) -> Iterator[Tuple]:
+    build_rows = _execute(plan.build, 0, instance.root, Tuple.empty(), pattern)
+    if plan.style == "probe":
+        for left in build_rows:
+            context = pattern.merge(left)
+            for right in _execute(plan.probe, 0, instance.root, Tuple.empty(), context):
+                yield left.merge(right)
+        return
+    on = sorted(plan.on)
+    table: dict = {}
+    for left in build_rows:
+        COUNTER.count_access()  # Temporary-hash insert.
+        table.setdefault(left.project(on), []).append(left)
+    for right in _execute(plan.probe, 0, instance.root, Tuple.empty(), pattern):
+        COUNTER.count_access()  # Temporary-hash probe.
+        for left in table.get(right.project(on), ()):
+            yield left.merge(right)
 
 
 def _execute(
@@ -288,7 +727,7 @@ def _execute(
             # An empty unit represents no tuple.
             return
         result = binding.merge(instance.unit_value)
-        if result.extends(pattern):
+        if result.matches(pattern):
             yield result
         return
     step = plan.steps[depth]

@@ -23,7 +23,7 @@ from ..core.tuples import Tuple
 from .instance import DecompositionInstance
 from .model import Decomposition
 from .parser import parse_decomposition
-from .plan import QueryPlan, execute_plan, plan_query
+from .plan import AnyPlan, execute_plan, plan_query
 
 __all__ = ["DecomposedRelation"]
 
@@ -64,12 +64,12 @@ class DecomposedRelation(RelationInterface):
         self.decomposition = decomposition
         self.enforce_fds = enforce_fds
         self.instance = DecompositionInstance(decomposition, spec)
-        self._plan_cache: Dict[ColumnSet, QueryPlan] = {}
+        self._plan_cache: Dict[ColumnSet, AnyPlan] = {}
         self._plan_signature = self.instance.size_signature()
 
     # -- planning ---------------------------------------------------------------
 
-    def plan_for(self, pattern_columns: Union[str, Iterable[str], ColumnSet]) -> QueryPlan:
+    def plan_for(self, pattern_columns: Union[str, Iterable[str], ColumnSet]) -> AnyPlan:
         """The (cached) plan used for patterns over *pattern_columns*.
 
         Plans are chosen against the instance's *live* container sizes
@@ -86,7 +86,12 @@ class DecomposedRelation(RelationInterface):
         key = columns(pattern_columns)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = plan_query(self.decomposition, key, sizes=self.instance.edge_sizes())
+            plan = plan_query(
+                self.decomposition,
+                key,
+                sizes=self.instance.edge_sizes(),
+                spec=self.spec,
+            )
             self._plan_cache[key] = plan
         return plan
 

@@ -25,6 +25,10 @@ ADEQUATE = [
     "ns, pid -> htable (state, cpu -> dlist {})",
     # A superkey is fine (state is determined but also bound).
     "ns, pid, state -> btree {cpu}",
+    # A key-projection secondary branch: the second branch covers only the
+    # superkey {ns, pid, state} (no cpu) — queries that need cpu reassemble
+    # full tuples with a cross-branch join plan (Figure 8 validity).
+    "[ns, pid -> htable {state, cpu} ; state -> htable ns, pid -> dlist {}]",
 ]
 
 INADEQUATE = [
@@ -32,12 +36,17 @@ INADEQUATE = [
     "ns -> htable {state, cpu}",
     # {ns} is not a key: the unit would collapse distinct (ns, pid) tuples.
     "ns -> htable {pid, state, cpu}",
-    # Second branch loses cpu.
-    "[ns, pid -> htable {state, cpu} ; state -> htable ns, pid -> dlist {}]",
+    # A partial branch whose covered set {state, cpu} is not a key:
+    # distinct processes collapse to one branch entry, so neither
+    # per-branch mutation nor a join plan can be sound.
+    "[ns, pid -> htable {state, cpu} ; state -> htable cpu -> dlist {}]",
     # {state, cpu} is not a key either.
     "state, cpu -> htable {ns, pid}",
     # Root unit: only constant relations would be representable.
     "{ns, pid, state, cpu}",
+    # Primary-branch completeness: the first branch must cover every
+    # sibling's columns (key-projection branches come second).
+    "[state -> htable ns, pid -> dlist {} ; ns, pid -> htable {state, cpu}]",
 ]
 
 

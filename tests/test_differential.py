@@ -22,7 +22,7 @@ import random
 import pytest
 
 from repro.codegen import compile_relation
-from repro.core import ReferenceRelation, Tuple
+from repro.core import ReferenceRelation, RelationSpec, Tuple
 from repro.core.errors import FunctionalDependencyError
 from repro.decomposition import DecomposedRelation, parse_decomposition
 
@@ -169,6 +169,127 @@ def test_differential_1000_ops_fd_off_three_tiers(layout, scheduler_spec):
             # Lemma 4: a representation only holds FD-satisfying relations,
             # and with the eviction semantics so does the oracle.
             assert oracle.satisfies(scheduler_spec.fds)
+
+
+#: Split-across-branch layouts (the §4 join-plan PR): the primary branch
+#: covers every column; the secondaries are key projections, so queries
+#: binding their key columns are answered by cross-branch join plans.
+GRAPH_SPEC = RelationSpec("src, dst, weight", fds=["src, dst -> weight"], name="edge")
+SPLIT_DECOMPOSITIONS = {
+    "split-secondary": (
+        "[src -> htable (dst -> htable {weight}) ; dst -> htable (src -> htable {})]"
+    ),
+    "split-two-partials": (
+        "[src, dst -> htable {weight}"
+        " ; dst -> htable (src -> dlist {})"
+        " ; src -> htable (dst -> dlist {})]"
+    ),
+}
+GRAPH_DOMAINS = {"src": [0, 1, 2, 3, 4], "dst": [0, 1, 2, 3, 4], "weight": [0, 1, 2]}
+GRAPH_COLUMNS = ("src", "dst", "weight")
+
+
+def random_graph_tuple(rng: random.Random) -> Tuple:
+    return Tuple({c: rng.choice(GRAPH_DOMAINS[c]) for c in GRAPH_COLUMNS})
+
+
+def random_graph_pattern(rng: random.Random, max_columns: int = 2) -> Tuple:
+    # Heavily weight the split patterns ({src} / {dst}) that force
+    # cross-branch planning on the layouts above.
+    roll = rng.random()
+    if roll < 0.35:
+        chosen = [rng.choice(["src", "dst"])]
+    elif roll < 0.5:
+        chosen = ["src", "dst"]
+    else:
+        chosen = rng.sample(GRAPH_COLUMNS, k=rng.randint(0, max_columns))
+    return Tuple({c: rng.choice(GRAPH_DOMAINS[c]) for c in chosen})
+
+
+def _join_capable_compiled(layout: str, enforce_fds: bool):
+    """Compile *layout* with size estimates that put cross-branch join
+    plans into the compile-time dispatch table (wide roots, thin second
+    levels), so the differential exercises the compiled join lowering."""
+    from repro.decomposition import parse_decomposition
+
+    decomposition = parse_decomposition(SPLIT_DECOMPOSITIONS[layout], name=layout)
+    root_edges = set(map(id, decomposition.root.edges))
+    sizes = {
+        e: 64.0 if id(e) in root_edges else 2.0
+        for node in decomposition.nodes()
+        for e in node.edges
+    }
+    cls = compile_relation(GRAPH_SPEC, decomposition, sizes=sizes)
+    assert "join[" in cls.__source__  # The differential must cover join code.
+    return cls(enforce_fds=enforce_fds)
+
+
+@pytest.mark.parametrize("layout", sorted(SPLIT_DECOMPOSITIONS))
+@pytest.mark.parametrize("enforce_fds", [True, False], ids=["fd-on", "fd-off"])
+def test_differential_1000_ops_split_patterns_three_tiers(layout, enforce_fds):
+    """Split-across-branch queries agree across all three tiers.
+
+    The op mix leans on patterns ({src} / {dst}) that only a key-projection
+    branch indexes, so the interpreted tier plans cross-branch joins with
+    live sizes and the compiled tier runs its join-bearing dispatch table —
+    both FD-on (rejections must agree) and FD-off (evictions must agree).
+    """
+    rng = random.Random(20110606)
+    decomposition = SPLIT_DECOMPOSITIONS[layout]
+    reference = ReferenceRelation(GRAPH_SPEC, enforce_fds=enforce_fds)
+    decomposed = DecomposedRelation(GRAPH_SPEC, decomposition, enforce_fds=enforce_fds)
+    compiled = _join_capable_compiled(layout, enforce_fds)
+    tiers = (reference, decomposed, compiled)
+
+    for step in range(1000):
+        roll = rng.random()
+        if roll < 0.4:
+            tup = random_graph_tuple(rng)
+            if enforce_fds:
+                errors = []
+                for relation in tiers:
+                    try:
+                        relation.insert(tup)
+                        errors.append(None)
+                    except FunctionalDependencyError as error:
+                        errors.append(error)
+                assert len({e is None for e in errors}) == 1, (
+                    f"[{layout}] tiers disagree on FD enforcement at step {step}: {errors}"
+                )
+            else:
+                for relation in tiers:
+                    relation.insert(tup)
+        elif roll < 0.55:
+            pattern = random_graph_pattern(rng)
+            for relation in tiers:
+                relation.remove(pattern)
+        elif roll < 0.7:
+            pattern = random_graph_pattern(rng)
+            changes = Tuple(weight=rng.choice(GRAPH_DOMAINS["weight"]))
+            for relation in tiers:
+                relation.update(pattern, changes)
+        else:
+            pattern = random_graph_pattern(rng)
+            output = rng.sample(GRAPH_COLUMNS, k=rng.randint(1, 3))
+            expected = set(reference.query(pattern, output))
+            assert set(decomposed.query(pattern, output)) == expected, (
+                f"[{layout}] interpreted query diverged at step {step}"
+            )
+            assert set(compiled.query(pattern, output)) == expected, (
+                f"[{layout}] compiled query diverged at step {step}"
+            )
+
+        oracle = reference.to_relation()
+        assert decomposed.to_relation() == oracle, (
+            f"[{layout}] interpreted tier diverged at step {step}"
+        )
+        assert compiled.to_relation() == oracle, (
+            f"[{layout}] compiled tier diverged at step {step}"
+        )
+        if step % 100 == 0 or step == 999:
+            decomposed.check_well_formed()
+            compiled.check_well_formed()
+            assert oracle.satisfies(GRAPH_SPEC.fds)
 
 
 @pytest.mark.parametrize("layout", sorted(DECOMPOSITIONS))
