@@ -1,0 +1,180 @@
+"""Fail CI unless the live re-tune hot-swap pays off on the drift workload.
+
+The ISSUE-6 online-adaptivity gate: the ``graph_drift`` workload's query
+mix flips from forward-neighbour (``{src}``) to reverse-neighbour
+(``{dst}``) at ``tail_start``.  A :class:`repro.LiveRelation` opened on
+the forward-only phase-1 layout must detect the drift, re-tune, hot-swap
+its compiled backing class, and stay α-equivalent to a reference mirror —
+and the post-swap layout must be strictly cheaper than the pre-swap layout
+on the drifted tail, measured as deterministic
+:class:`~repro.structures.base.OperationCounter` access counts over fresh
+instances of each layout.  The harness records the comparison in the
+report's ``retune`` section (:func:`measure_retune`); this script
+validates it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_retune.py BENCH_6.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: The drifting workload the gate measures.
+WORKLOAD = "graph_drift"
+
+#: Re-tune policy for the measured run: thresholds small enough that the
+#: drifted tail (scale*4 operations) comfortably triggers the swap.
+POLICY = {"min_ops": 150, "drift_threshold": 0.25}
+
+
+def measure_retune(workload) -> dict:
+    """Drive *workload* through a live relation; measure the swap's payoff.
+
+    Three measurements over the same trace:
+
+    1. a ``repro.open(spec, layout, live=True)`` run over the full trace —
+       must auto-re-tune, hot-swap at least once, and finish α-equivalent
+       to a :class:`~repro.core.reference.ReferenceRelation` mirror;
+    2. the **pre-swap** layout: a fresh compiled instance of the phase-1
+       layout, replaying the whole trace with only the drifted tail's
+       accesses counted;
+    3. the **post-swap** layout: the layout the live run swapped to, same
+       protocol.
+
+    Counting only the tail on fresh instances isolates the layouts'
+    steady-state costs from the one-off migration cost (which is also
+    reported, separately).
+    """
+    import repro
+    from repro.live import SamplingTraceRecorder
+    from repro.structures import COUNTER
+
+    from .harness import replay
+
+    assert workload.tail_start is not None, "drift workloads must set tail_start"
+    head = workload.trace[: workload.tail_start]
+    tail = workload.trace[workload.tail_start :]
+
+    live = repro.open(
+        workload.spec,
+        workload.layout,
+        live=True,
+        policy=POLICY,
+        sampler=SamplingTraceRecorder(seed=0),
+    )
+    mirror = repro.open(workload.spec, tier="reference")
+    replay(live, workload.trace)
+    replay(mirror, workload.trace)
+    alpha_equivalent = live.to_relation() == mirror.to_relation()
+    swaps = [r for r in live.retunes if r.swapped]
+    new_layout = live.backing_layout()
+
+    def tail_accesses(layout: str) -> int:
+        relation = repro.open(workload.spec, layout, tier="compiled")
+        replay(relation, head)
+        with COUNTER:
+            replay(relation, tail)
+            return COUNTER.accesses
+
+    old_tail = tail_accesses(workload.layout)
+    new_tail = tail_accesses(new_layout)
+
+    return {
+        "workload": workload.name,
+        "ops": len(workload.trace),
+        "tail_start": workload.tail_start,
+        "old_layout": workload.layout,
+        "new_layout": new_layout,
+        "retunes": len(live.retunes),
+        "swaps": len(swaps),
+        "generation": live.generation,
+        "migrated_rows": sum(r.migrated for r in swaps),
+        "alpha_equivalent": alpha_equivalent,
+        "sampler": live.sampler.stats(),
+        "old_tail_accesses": old_tail,
+        "new_tail_accesses": new_tail,
+        "speedup": round(old_tail / new_tail, 2) if new_tail else None,
+    }
+
+
+def check(report: dict) -> list:
+    failures = []
+    section = report.get("retune")
+    if section is None:
+        return [
+            "retune section missing from the report (was the harness run "
+            "on an older benchmarks/ tree?)"
+        ]
+    if section.get("workload") != WORKLOAD:
+        failures.append(
+            f"retune section measures {section.get('workload')!r}, "
+            f"expected {WORKLOAD!r}"
+        )
+    if not section.get("swaps"):
+        failures.append(
+            f"the live relation never hot-swapped on the drifting workload "
+            f"({section.get('retunes', 0)} re-tune(s) ran) — drift detection "
+            f"or the swap path is broken"
+        )
+    if not section.get("alpha_equivalent"):
+        failures.append(
+            "the live relation diverged from the reference mirror across the "
+            "hot-swap — α-migration is unsound"
+        )
+    if section.get("new_layout") == section.get("old_layout"):
+        failures.append(
+            f"the post-swap layout equals the pre-swap layout "
+            f"({section.get('new_layout')!r}) — the re-tune chose nothing new"
+        )
+    old_tail = section.get("old_tail_accesses", 0)
+    new_tail = section.get("new_tail_accesses", 0)
+    if not new_tail or new_tail >= old_tail:
+        failures.append(
+            f"post-swap layout ({new_tail:,d} accesses) does not strictly beat "
+            f"the pre-swap layout ({old_tail:,d}) on the drifted tail — "
+            f"re-tuning bought nothing"
+        )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        report = json.load(handle)
+    section = report.get("retune") or {}
+    if section:
+        print(
+            f"workload {section.get('workload')} · {section.get('ops'):,d} ops, "
+            f"tail from {section.get('tail_start'):,d}"
+        )
+        print(f"  pre-swap:  {section.get('old_layout')}")
+        print(f"  post-swap: {section.get('new_layout')}")
+        print(
+            f"  {section.get('retunes')} re-tune(s), {section.get('swaps')} swap(s), "
+            f"{section.get('migrated_rows'):,d} row(s) migrated, "
+            f"α-equivalent: {section.get('alpha_equivalent')}"
+        )
+        print(
+            f"  tail accesses: pre-swap {section.get('old_tail_accesses'):,d} vs "
+            f"post-swap {section.get('new_tail_accesses'):,d}"
+        )
+    failures = check(report)
+    if failures:
+        print("\nRETUNE GATE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nretune gate passed: the hot-swapped layout is {section.get('speedup')}x "
+        f"cheaper on the drifted tail"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

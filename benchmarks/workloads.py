@@ -46,6 +46,7 @@ class Workload:
         layout: str,
         trace: List[Operation],
         alternatives: Dict[str, str] = None,
+        tail_start: int = None,
     ):
         self.name = name
         self.description = description
@@ -53,6 +54,10 @@ class Workload:
         self.layout = layout
         self.trace = trace
         self.alternatives: Dict[str, str] = dict(alternatives or {})
+        #: For drifting workloads: the trace index where the operation mix
+        #: flips.  ``trace[tail_start:]`` is the drifted tail the re-tune
+        #: gate (benchmarks/check_retune.py) measures layouts against.
+        self.tail_start = tail_start
 
     def hand_layouts(self) -> Dict[str, str]:
         """Every hand-written layout, keyed by display name (primary first)."""
@@ -305,6 +310,72 @@ def graph_reverse(scale: int) -> Workload:
     )
 
 
+def graph_drift(scale: int) -> Workload:
+    """A graph workload whose mix flips to reverse-neighbour mid-run.
+
+    Phase 1 (before ``tail_start``) is forward-neighbour-heavy: ``{src}``
+    queries dominate, and the forward-only layout serves them in O(1).
+    Phase 2 flips the hot query to ``{dst}`` — on the forward-only layout
+    every reverse query scans the whole ``src`` level.  This is the
+    online-adaptivity scenario: a ``LiveRelation`` opened on the phase-1
+    layout detects the mix drift, re-tunes, and hot-swaps to a
+    ``dst``-keyed layout; ``benchmarks/check_retune.py`` gates that the
+    post-swap layout is strictly cheaper on the drifted tail.
+    """
+    spec = RelationSpec(
+        "src, dst, weight",
+        fds=["src, dst -> weight"],
+        name="edge",
+    )
+    rng = random.Random(0x5EED6)
+    nodes = max(16, scale // 2)
+    edges: Dict[PyTuple[int, int], int] = {}
+    while len(edges) < max(32, scale * 2):
+        edges.setdefault(
+            (rng.randrange(nodes), rng.randrange(nodes)), rng.randrange(100)
+        )
+    trace: List[Operation] = [
+        ("insert", Tuple(src=s, dst=d, weight=w)) for (s, d), w in sorted(edges.items())
+    ]
+    edge_list = sorted(edges)
+
+    def churn(forward: bool) -> None:
+        roll = rng.random()
+        src, dst = rng.choice(edge_list)
+        if roll < 0.6:  # The hot query: direction depends on the phase.
+            if forward:
+                trace.append(("query", Tuple(src=src), "dst, weight"))
+            else:
+                trace.append(("query", Tuple(dst=dst), "src, weight"))
+        elif roll < 0.75:
+            trace.append(("query", Tuple(src=src, dst=dst), "weight"))
+        elif roll < 0.9:
+            trace.append(
+                ("update", Tuple(src=src, dst=dst), Tuple(weight=rng.randrange(100)))
+            )
+        else:
+            trace.append(("remove", Tuple(src=src, dst=dst)))
+            trace.append(("insert", Tuple(src=src, dst=dst, weight=rng.randrange(100))))
+
+    for _ in range(scale * 4):
+        churn(forward=True)
+    tail_start = len(trace)
+    for _ in range(scale * 4):
+        churn(forward=False)
+    return Workload(
+        "graph_drift",
+        "drifting graph: forward-neighbour mix flips to reverse mid-run (online adaptivity)",
+        spec,
+        "src -> htable (dst -> htable {weight})",
+        trace,
+        alternatives={
+            "reverse-capable": SPLIT_GRAPH_LAYOUT,
+            "flat-htable": "src, dst -> htable {weight}",
+        },
+        tail_start=tail_start,
+    )
+
+
 def spanning(scale: int) -> Workload:
     """Spanning-forest components, Kruskal-style union by bulk update.
 
@@ -350,6 +421,7 @@ WORKLOADS: Dict[str, Callable[[int], Workload]] = {
     "scheduler": scheduler,
     "scheduler_churn": scheduler_churn,
     "graph": directed_graph,
+    "graph_drift": graph_drift,
     "graph_reverse": graph_reverse,
     "spanning": spanning,
 }

@@ -1,5 +1,32 @@
 """Data representation synthesis (Hawkins et al., PLDI 2011) in Python.
 
+**The canonical entry point is** :func:`repro.open` — one factory behind
+every tier of the library::
+
+    import repro
+    from repro import RelationSpec, t
+
+    spec = RelationSpec("ns, pid, state, cpu", fds=["ns, pid -> state, cpu"])
+
+    # An explicit layout, compiled (the default tier):
+    processes = repro.open(spec, "ns, pid -> htable {state, cpu}")
+    processes.insert(t(ns=1, pid=42, state="running", cpu=0))
+
+    # Let the autotuner pick the layout from a recorded trace:
+    processes = repro.open(spec, tune=trace)
+
+    # A live relation: always-on sampling, automatic re-tune, and
+    # hot-swap between layouts via the abstraction function α:
+    processes = repro.open(spec, live=True)
+
+``tier="reference" | "interpreted" | "compiled" | "auto"`` selects the
+implementation; every tier honours the same five-operation contract
+(:class:`~repro.core.interface.RelationInterface`), which is the paper's
+central abstraction claim.  The constituent classes remain importable for
+direct use — ``ReferenceRelation``, ``DecomposedRelation``,
+``compile_relation``, ``synthesize`` — but new code should go through the
+factory, which is what the benchmarks and docs use.
+
 The library is layered like the paper:
 
 * :mod:`repro.core` — relational specifications ``(C, ∆)``, functional
@@ -14,15 +41,10 @@ The library is layered like the paper:
   into a standalone specialised class (the paper's code generator);
 * :mod:`repro.autotuner` — the synthesis loop (Section 5): record an
   operation trace, enumerate adequate decompositions, score them against
-  the trace, and compile the winner (``synthesize(spec, trace)``).
-
-The most common entry points are re-exported here::
-
-    from repro import RelationSpec, DecomposedRelation, t
-
-    spec = RelationSpec("ns, pid, state, cpu", fds=["ns, pid -> state, cpu"])
-    processes = DecomposedRelation(spec, "ns, pid -> htable {state, cpu}")
-    processes.insert(t(ns=1, pid=42, state="running", cpu=0))
+  the trace, and compile the winner (``synthesize(spec, trace)``);
+* :mod:`repro.live` — the online closing of that loop:
+  :class:`~repro.live.LiveRelation` samples its own workload, re-tunes
+  when the operation mix drifts, and migrates between layouts via α.
 """
 
 from .autotuner import Trace, TraceRecorder, autotune, enumerate_decompositions, synthesize
@@ -46,6 +68,18 @@ from .decomposition import (
     plan_query,
     validate_plan,
 )
+from .live import (
+    LiveRelation,
+    RetunePolicy,
+    RetuneReport,
+    SamplingTraceRecorder,
+    open_relation,
+)
+
+#: ``repro.open`` — the factory is deliberately named after the builtin it
+#: shadows *inside this namespace only*; import it as ``open_relation`` if
+#: the name matters in your module.
+open = open_relation
 
 __version__ = "0.1.0"
 
@@ -54,10 +88,14 @@ __all__ = [
     "Decomposition",
     "FDSet",
     "FunctionalDependency",
+    "LiveRelation",
     "ReferenceRelation",
     "Relation",
     "RelationInterface",
     "RelationSpec",
+    "RetunePolicy",
+    "RetuneReport",
+    "SamplingTraceRecorder",
     "Trace",
     "TraceRecorder",
     "Tuple",
@@ -67,6 +105,8 @@ __all__ = [
     "enumerate_decompositions",
     "generate_source",
     "is_adequate",
+    "open",
+    "open_relation",
     "parse_decomposition",
     "plan_query",
     "validate_plan",

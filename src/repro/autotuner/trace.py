@@ -314,5 +314,18 @@ class TraceRecorder(RelationInterface):
     def checkpoint(self) -> Relation:
         return self.to_relation()
 
+    # Inspection dunders forward without recording: ``len(r)`` / ``for t in
+    # r`` / ``t in r`` are not part of the five-operation workload, and the
+    # inner tier's O(1) ``__len__`` (where it has one) must survive wrapping.
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.inner)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self.inner
+
     def __repr__(self) -> str:
         return f"TraceRecorder({self.inner!r}, {len(self.trace)} ops)"

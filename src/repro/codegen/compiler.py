@@ -46,6 +46,7 @@ to disk and inspected (``compile_relation`` attaches it as ``__source__``).
 from __future__ import annotations
 
 import re
+import threading
 from itertools import count as _count_from
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
 
@@ -1243,6 +1244,13 @@ def generate_source(
 #: ``avl`` layouts share one entry) because the canonical shape does.
 _CLASS_CACHE: Dict[tuple, type] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0}
+#: Guards ``_CLASS_CACHE`` / ``_CACHE_STATS``: a ``LiveRelation`` re-tune can
+#: compile a new backing class on one thread while another thread calls
+#: ``clear_codegen_cache()`` or ``codegen_cache_stats()``.  Generation and
+#: ``exec`` of the module happen *outside* the lock (they are slow and touch
+#: no shared state); the insert re-checks the key so concurrent same-key
+#: compiles still resolve to a single shared class object.
+_CACHE_LOCK = threading.RLock()
 
 
 def _cache_key(
@@ -1279,18 +1287,26 @@ def _cache_key(
 
 def codegen_cache_stats() -> Dict[str, int]:
     """Hit/miss/size counters of the generated-class cache (test hook)."""
-    return {
-        "hits": _CACHE_STATS["hits"],
-        "misses": _CACHE_STATS["misses"],
-        "size": len(_CLASS_CACHE),
-    }
+    with _CACHE_LOCK:
+        return {
+            "hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"],
+            "size": len(_CLASS_CACHE),
+        }
 
 
 def clear_codegen_cache() -> None:
-    """Drop every cached generated class and reset the hit/miss counters."""
-    _CLASS_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    """Drop every cached generated class and reset the hit/miss counters.
+
+    Thread-safe: safe to call while another thread is inside
+    :func:`compile_relation` (e.g. a ``LiveRelation`` hot-swap compiling its
+    new backing class) — the in-flight compile simply re-registers its class
+    in the now-empty cache.
+    """
+    with _CACHE_LOCK:
+        _CLASS_CACHE.clear()
+        _CACHE_STATS["hits"] = 0
+        _CACHE_STATS["misses"] = 0
 
 
 def compile_relation(
@@ -1331,13 +1347,15 @@ def compile_relation(
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
     key = _cache_key(spec, decomposition, class_name, enforce_fds_default, sizes)
-    cached = _CLASS_CACHE.get(key)
-    if cached is not None:
-        _CACHE_STATS["hits"] += 1
-        cached.SPEC = spec  # type: ignore[attr-defined]
-        cached.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
-        return cached
-    _CACHE_STATS["misses"] += 1
+    with _CACHE_LOCK:
+        cached = _CLASS_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            cached.SPEC = spec  # type: ignore[attr-defined]
+            cached.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+            return cached
+        _CACHE_STATS["misses"] += 1
+    # Generate and exec outside the lock: slow, and touches no shared state.
     source = generate_source(spec, decomposition, class_name, enforce_fds_default, sizes)
     module_name = f"repro.codegen.generated_{next(_generated_modules)}"
     namespace: Dict[str, object] = {"__name__": module_name}
@@ -1346,5 +1364,11 @@ def compile_relation(
     cls.__source__ = source  # type: ignore[attr-defined]
     cls.SPEC = spec  # type: ignore[attr-defined]
     cls.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
-    _CLASS_CACHE[key] = cls
-    return cls  # type: ignore[return-value]
+    with _CACHE_LOCK:
+        # Re-check: a concurrent same-key compile may have won the race;
+        # adopt its class so key-equal calls keep returning one object.
+        winner = _CLASS_CACHE.setdefault(key, cls)
+        if winner is not cls:
+            winner.SPEC = spec  # type: ignore[attr-defined]
+            winner.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+    return winner  # type: ignore[return-value]

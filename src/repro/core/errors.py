@@ -73,6 +73,16 @@ class AutotunerError(ReproError):
     """The autotuner was misconfigured or could not enumerate candidates."""
 
 
+class LiveRelationError(ReproError):
+    """A live relation could not re-tune or migrate between layouts.
+
+    Raised when an α-migration fails its equivalence check (the old and new
+    backings disagree on the represented relation), or when the
+    :func:`repro.live.open_relation` factory is called with an invalid tier
+    or an inconsistent combination of arguments.
+    """
+
+
 class ParseError(ReproError):
     """A specification / decomposition mapping file could not be parsed."""
 

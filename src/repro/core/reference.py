@@ -9,7 +9,7 @@ exactly the relation the reference implementation holds).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Set, Union
+from typing import Iterable, Iterator, List, Mapping, Optional, Set, Union
 
 from .errors import FunctionalDependencyError, OperationError
 from .interface import RelationInterface, coerce_tuple
@@ -138,6 +138,13 @@ class ReferenceRelation(RelationInterface):
     def checkpoint(self) -> Relation:
         """Alias of :meth:`to_relation`, used by differential tests."""
         return self.to_relation()
+
+    def __len__(self) -> int:
+        """O(1): the stored set's size (the base class re-queries)."""
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
 
     def load(self, relation: Relation) -> None:
         """Replace the contents with *relation* (which must satisfy the spec)."""

@@ -1,0 +1,759 @@
+"""``repro.live`` — a self-tuning relation behind one stable handle.
+
+The paper's synthesis loop (Section 5) is offline: record a trace, pick a
+layout, compile, done.  This module closes the loop *online*:
+
+* :class:`SamplingTraceRecorder` — an always-on, bounded-overhead workload
+  sampler: a decayed reservoir of concrete operations (the re-tune trace's
+  tail) plus a sliding-window operation-mix histogram (the drift signal).
+  Steady-state cost is O(1) per operation — one counter bump, one deque
+  append and one RNG draw — and O(capacity + window) memory, so profiling
+  can stay on in production;
+* :class:`RetunePolicy` — when to re-tune: a minimum operation count
+  between tunings plus a total-variation drift threshold on the observed
+  operation mix;
+* :class:`LiveRelation` — a :class:`~repro.core.interface.RelationInterface`
+  facade that owns the current backing implementation (reference,
+  interpreted or compiled), samples every operation, re-runs the autotuner
+  when the mix drifts, and **migrates between layouts via α**: both the old
+  and the new layout provably represent the same relation, so migration is
+  enumerate-the-old + reinsert-into-the-new (optionally spread over a
+  dual-write window for large instances), checked for α-equivalence, then
+  an atomic swap of the backing object — every reference through the facade
+  sees the new layout;
+* :func:`open_relation` (re-exported as ``repro.open``) — the one factory
+  behind every tier: ``repro.open(spec, layout, tier=..., tune=...,
+  live=...)`` replaces reaching for ``ReferenceRelation``,
+  ``DecomposedRelation``, ``compile_relation`` or ``synthesize`` directly.
+
+The re-tune trace is synthesized from what the facade knows: inserts
+reconstructing the **current contents** (the data distribution) followed by
+the reservoir's sampled operations in arrival order (the operation mix) —
+exactly the two inputs the autotuner's scorer consumes.  The current layout
+is force-included in the search, so a re-tune whose winner keeps the
+current shape swaps nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple as PyTuple, Union
+
+from .autotuner.enumerator import canonical_shape
+from .autotuner.trace import Trace
+from .autotuner.tuner import TuningResult, autotune
+from .codegen import compile_relation
+from .core.errors import LiveRelationError
+from .core.interface import RelationInterface, coerce_tuple
+from .core.reference import ReferenceRelation
+from .core.relation import Relation
+from .core.spec import RelationSpec
+from .core.tuples import Tuple
+from .decomposition.model import Decomposition
+from .decomposition.parser import parse_decomposition
+from .decomposition.relation import DecomposedRelation
+
+__all__ = [
+    "LiveRelation",
+    "RetunePolicy",
+    "RetuneReport",
+    "SamplingTraceRecorder",
+    "default_layout",
+    "open_relation",
+]
+
+#: The operation kinds a sampler key distinguishes (insert keys carry no
+#: pattern — every insert binds the full column set).
+Operation = PyTuple
+
+
+def _op_key(op: Operation) -> PyTuple:
+    """The mix-histogram key of one operation: kind + bound pattern columns."""
+    kind = op[0]
+    if kind == "insert":
+        return ("insert",)
+    return (kind, op[1].columns if isinstance(op[1], Tuple) else frozenset())
+
+
+class SamplingTraceRecorder:
+    """Bounded-overhead sampler of a live relation's operation stream.
+
+    Two structures, both O(1) per observed operation:
+
+    * a **decayed reservoir** of ``capacity`` concrete operations.  Classic
+      reservoir sampling keeps a uniform sample of *all* history; here the
+      inclusion draw is floored at ``horizon`` — operation *i* enters with
+      probability ``capacity / min(i, horizon)`` — so recent operations
+      always retain at least a ``capacity / horizon`` chance and the sample
+      decays toward the recent workload.  :meth:`sampled_operations`
+      returns the survivors in arrival order, forming the tail of the
+      re-tune trace;
+    * a **sliding window** (``window`` most recent operations) of mix-key
+      counts — ``(kind, pattern columns)`` — compared against the mix at
+      the last re-tune (:meth:`rebase`) by total-variation distance
+      (:meth:`drift`), the re-tune policy's drift signal.
+
+    The RNG is seeded, so a seeded workload produces a deterministic sample
+    (and deterministic re-tune decisions — the property the differential
+    tests and the CI gate rely on).
+    """
+
+    __slots__ = (
+        "capacity",
+        "horizon",
+        "window",
+        "_rng",
+        "_seen",
+        "_reservoir",
+        "_recent",
+        "_recent_counts",
+        "_baseline_mix",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        horizon: int = 4096,
+        window: int = 512,
+        seed: int = 0,
+    ):
+        if capacity < 1 or window < 1 or horizon < capacity:
+            raise LiveRelationError(
+                f"sampler needs capacity >= 1, window >= 1 and horizon >= capacity; "
+                f"got capacity={capacity}, window={window}, horizon={horizon}"
+            )
+        self.capacity = capacity
+        self.horizon = horizon
+        self.window = window
+        self._rng = random.Random(seed)
+        self._seen = 0
+        #: ``(arrival index, operation)`` pairs; order restored on demand.
+        self._reservoir: List[PyTuple[int, Operation]] = []
+        self._recent: Deque[PyTuple] = deque(maxlen=window)
+        self._recent_counts: Dict[PyTuple, int] = {}
+        self._baseline_mix: Optional[Dict[PyTuple, float]] = None
+
+    # -- observation (the O(1) hot path) ----------------------------------------
+
+    def observe(self, op: Operation) -> None:
+        """Record one operation: update the mix window, maybe sample it."""
+        self._seen += 1
+        key = _op_key(op)
+        recent = self._recent
+        counts = self._recent_counts
+        if len(recent) == self.window:
+            evicted = recent[0]
+            remaining = counts[evicted] - 1
+            if remaining:
+                counts[evicted] = remaining
+            else:
+                del counts[evicted]
+        recent.append(key)
+        counts[key] = counts.get(key, 0) + 1
+
+        reservoir = self._reservoir
+        if len(reservoir) < self.capacity:
+            reservoir.append((self._seen, op))
+        else:
+            slot = self._rng.randrange(min(self._seen, self.horizon))
+            if slot < self.capacity:
+                reservoir[slot] = (self._seen, op)
+
+    # -- re-tune inputs ----------------------------------------------------------
+
+    @property
+    def seen(self) -> int:
+        """Total operations observed."""
+        return self._seen
+
+    def sampled_operations(self) -> List[Operation]:
+        """The reservoir's operations in arrival order (the trace tail)."""
+        return [op for _, op in sorted(self._reservoir)]
+
+    def recent_mix(self) -> Dict[PyTuple, float]:
+        """The sliding window's operation mix, normalised to frequencies."""
+        total = len(self._recent)
+        if not total:
+            return {}
+        return {key: count / total for key, count in self._recent_counts.items()}
+
+    def drift(self) -> float:
+        """Total-variation distance between the recent mix and the baseline.
+
+        ``inf`` before the first :meth:`rebase` — a live relation that has
+        never been tuned treats any sufficiently long prefix as drifted.
+        """
+        if self._baseline_mix is None:
+            return math.inf
+        recent = self.recent_mix()
+        keys = set(recent) | set(self._baseline_mix)
+        return 0.5 * sum(
+            abs(recent.get(k, 0.0) - self._baseline_mix.get(k, 0.0)) for k in keys
+        )
+
+    def rebase(self) -> None:
+        """Adopt the current window mix as the drift baseline (post-tune)."""
+        self._baseline_mix = self.recent_mix()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "seen": self._seen,
+            "sampled": len(self._reservoir),
+            "capacity": self.capacity,
+            "horizon": self.horizon,
+            "window": self.window,
+            "drift": None if self._baseline_mix is None else round(self.drift(), 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingTraceRecorder(seen={self._seen}, "
+            f"sampled={len(self._reservoir)}/{self.capacity})"
+        )
+
+
+class RetunePolicy:
+    """When a :class:`LiveRelation` re-tunes itself.
+
+    Attributes:
+        auto: run :meth:`LiveRelation.maybe_retune` after every operation.
+            ``False`` makes the facade purely explicit (``retune()`` only) —
+            the deterministic-test configuration.
+        min_ops: minimum operations since the last tune before the drift
+            check fires (also the warm-up length of the very first tune,
+            whose drift is ``inf`` by construction).
+        drift_threshold: total-variation distance on the operation mix at or
+            above which a re-tune triggers.
+        dual_write_threshold: instances at least this large migrate through
+            an incremental dual-write window instead of one synchronous
+            enumerate + reinsert pass.
+        migrate_batch: rows copied per subsequent operation while a
+            dual-write window is open.
+    """
+
+    __slots__ = ("auto", "min_ops", "drift_threshold", "dual_write_threshold", "migrate_batch")
+
+    def __init__(
+        self,
+        auto: bool = True,
+        min_ops: int = 512,
+        drift_threshold: float = 0.3,
+        dual_write_threshold: int = 100_000,
+        migrate_batch: int = 64,
+    ):
+        if min_ops < 1 or migrate_batch < 1:
+            raise LiveRelationError("min_ops and migrate_batch must be >= 1")
+        if not 0.0 < drift_threshold:
+            raise LiveRelationError("drift_threshold must be positive")
+        self.auto = auto
+        self.min_ops = min_ops
+        self.drift_threshold = drift_threshold
+        self.dual_write_threshold = dual_write_threshold
+        self.migrate_batch = migrate_batch
+
+    @classmethod
+    def coerce(cls, value: Union["RetunePolicy", Mapping, None]) -> "RetunePolicy":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls(**value)
+        raise LiveRelationError(
+            f"tune policy must be a RetunePolicy or a mapping of its fields; got {value!r}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RetunePolicy(auto={self.auto}, min_ops={self.min_ops}, "
+            f"drift_threshold={self.drift_threshold})"
+        )
+
+
+class RetuneReport:
+    """What one :meth:`LiveRelation.retune` decided and did."""
+
+    __slots__ = (
+        "op_index",
+        "reason",
+        "drift",
+        "old_layout",
+        "new_layout",
+        "swapped",
+        "migrated",
+        "dual_write",
+        "generation",
+        "tuning",
+    )
+
+    def __init__(
+        self,
+        op_index: int,
+        reason: str,
+        drift: Optional[float],
+        old_layout: Optional[str],
+    ):
+        self.op_index = op_index
+        self.reason = reason
+        self.drift = drift
+        self.old_layout = old_layout
+        self.new_layout: Optional[str] = None
+        self.swapped = False
+        self.migrated = 0
+        self.dual_write = False
+        self.generation: Optional[int] = None
+        self.tuning: Optional[TuningResult] = None
+
+    def describe(self) -> str:
+        outcome = (
+            f"swapped to {self.new_layout!r} ({self.migrated} row(s) migrated"
+            + (", dual-write window)" if self.dual_write else ")")
+            if self.swapped
+            else "kept the current layout"
+        )
+        return f"retune @op {self.op_index} ({self.reason}): {outcome}"
+
+    def __repr__(self) -> str:
+        return f"RetuneReport(op={self.op_index}, swapped={self.swapped})"
+
+
+class _Migration:
+    """State of an open dual-write window (incremental α-migration)."""
+
+    __slots__ = ("target", "pending", "batch", "report")
+
+    def __init__(
+        self,
+        target: RelationInterface,
+        pending: Deque[Tuple],
+        batch: int,
+        report: RetuneReport,
+    ):
+        self.target = target
+        self.pending = pending
+        self.batch = batch
+        self.report = report
+
+
+class LiveRelation(RelationInterface):
+    """A relation that outlives — and re-chooses — its own representation.
+
+    The facade owns a *backing* :class:`RelationInterface` (any tier),
+    forwards the five relational operations to it, and samples each one
+    through a :class:`SamplingTraceRecorder`.  When the sampled operation
+    mix drifts past the :class:`RetunePolicy`'s threshold (or on an
+    explicit :meth:`retune`), the autotuner is re-run on a trace
+    synthesized from the current contents plus the sampled tail; if the
+    winner's shape differs from the current layout, the instance is
+    **migrated via α** — enumerated from the old backing and reinserted
+    into a freshly compiled class for the new layout, checked for
+    α-equivalence — and the backing is swapped atomically.  Holders of the
+    facade never observe an intermediate state: reads are served by the old
+    backing until the swap, and during a dual-write window every mutation
+    is applied to both backings.
+
+    The inspection dunders (``len``/``iter``/``in``) forward to the backing
+    without being sampled, so inspection does not perturb the workload the
+    autotuner sees.
+    """
+
+    def __init__(
+        self,
+        backing: RelationInterface,
+        policy: Union[RetunePolicy, Mapping, None] = None,
+        sampler: Optional[SamplingTraceRecorder] = None,
+        name: str = "live",
+    ):
+        spec = getattr(backing, "spec", None)
+        if spec is None:
+            raise LiveRelationError(
+                f"cannot wrap {type(backing).__name__}: the backing must expose "
+                f"its RelationSpec as `.spec`"
+            )
+        self.spec: RelationSpec = spec
+        self.name = name
+        self.enforce_fds: bool = getattr(backing, "enforce_fds", True)
+        self.policy = RetunePolicy.coerce(policy)
+        self.sampler = sampler if sampler is not None else SamplingTraceRecorder()
+        self.generation = 0
+        self.retunes: List[RetuneReport] = []
+        self._backing = backing
+        self._ops_since_tune = 0
+        self._migration: Optional[_Migration] = None
+
+    # -- backing introspection ---------------------------------------------------
+
+    @property
+    def backing(self) -> RelationInterface:
+        """The current backing implementation (changes across swaps)."""
+        return self._backing
+
+    def backing_decomposition(self) -> Optional[Decomposition]:
+        """The backing's decomposition, if it has one (reference has none)."""
+        decomposition = getattr(self._backing, "decomposition", None)
+        if decomposition is None:
+            decomposition = getattr(type(self._backing), "DECOMPOSITION", None)
+        return decomposition
+
+    def backing_layout(self) -> Optional[str]:
+        decomposition = self.backing_decomposition()
+        return decomposition.describe() if decomposition is not None else None
+
+    def live_stats(self) -> Dict[str, object]:
+        """Operational counters: sampling overhead is bounded by these.
+
+        Per observed operation the facade pays one histogram update and one
+        RNG draw (plus one reservoir slot write with probability
+        ``capacity / min(seen, horizon)``); memory is bounded by
+        ``capacity`` sampled operations plus a ``window``-length mix
+        window.  No container access is charged — the sampled numbers the
+        benchmark gates compare are untouched by sampling.
+        """
+        return {
+            "generation": self.generation,
+            "retunes": len(self.retunes),
+            "swaps": sum(1 for r in self.retunes if r.swapped),
+            "ops_since_tune": self._ops_since_tune,
+            "migration_open": self._migration is not None,
+            "backing": type(self._backing).__name__,
+            "layout": self.backing_layout(),
+            "sampler": self.sampler.stats(),
+        }
+
+    # -- the five operations (forward, then sample) ------------------------------
+
+    def insert(self, tup: Union[Tuple, Mapping]) -> None:
+        tup = coerce_tuple(tup)
+        self._backing.insert(tup)
+        if self._migration is not None:
+            self._migration.target.insert(tup)
+        self._observe(("insert", tup))
+
+    def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
+        pattern = coerce_tuple(pattern)
+        self._backing.remove(pattern)
+        if self._migration is not None:
+            # Rows already copied are removed here; still-pending rows are
+            # revalidated against the old backing at copy time and skipped.
+            self._migration.target.remove(pattern)
+        self._observe(("remove", pattern))
+
+    def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
+        pattern = coerce_tuple(pattern)
+        changes = coerce_tuple(changes)
+        migration = self._migration
+        if migration is not None:
+            # Capture the victims *before* mutating: a pending (not yet
+            # copied) victim would otherwise be skipped at copy time (the
+            # old backing no longer holds its pre-update form) while its
+            # post-update form was never enqueued.  Re-enqueueing the
+            # merged rows closes that window; copy-time revalidation makes
+            # the extra enqueue idempotent.
+            victims = self._backing.query(pattern, None)
+        self._backing.update(pattern, changes)
+        if migration is not None:
+            migration.target.update(pattern, changes)
+            for victim in victims:
+                migration.pending.append(victim.merge(changes))
+        self._observe(("update", pattern, changes))
+
+    def query(
+        self,
+        pattern: Union[Tuple, Mapping, None] = None,
+        output: Union[str, Iterable[str], None] = None,
+    ) -> List[Tuple]:
+        pattern = coerce_tuple(pattern)
+        if output is not None and not isinstance(output, str):
+            output = tuple(output)
+        results = self._backing.query(pattern, output)
+        self._observe(("query", pattern, output))
+        return results
+
+    def _observe(self, op: Operation) -> None:
+        """Sample one completed operation, then advance the control loop."""
+        self._ops_since_tune += 1
+        self.sampler.observe(op)
+        if self._migration is not None:
+            self._pump_migration()
+        elif self.policy.auto:
+            self.maybe_retune()
+
+    # -- the re-tune loop --------------------------------------------------------
+
+    def maybe_retune(self) -> Optional[RetuneReport]:
+        """Re-tune if the policy says so; the cheap steady-state check.
+
+        Returns the report when a re-tune ran (whether or not it swapped),
+        ``None`` otherwise.  Never fires while a dual-write window is open.
+        """
+        if self._migration is not None:
+            return None
+        if self._ops_since_tune < self.policy.min_ops:
+            return None
+        drift = self.sampler.drift()
+        if drift < self.policy.drift_threshold:
+            return None
+        reason = (
+            "warm-up tune (no baseline mix yet)"
+            if math.isinf(drift)
+            else f"mix drift {drift:.2f} >= threshold {self.policy.drift_threshold:.2f}"
+        )
+        return self.retune(reason=reason, drift=None if math.isinf(drift) else drift)
+
+    def _retune_trace(self) -> Trace:
+        """Synthesize the tuning workload: current contents + sampled tail.
+
+        Always built in ``enforce_fds=False`` (eviction) mode: the sampled
+        tail is not a contiguous history — an old sampled insert can
+        FD-conflict with the reconstructed current contents — so an FD-on
+        replay could spuriously raise mid-scoring.  Eviction replay never
+        raises and preserves the operation mix, which is what the scorer
+        measures; the swapped-in backing still runs in the live relation's
+        own FD mode.
+        """
+        contents = sorted(self._backing.to_relation().tuples, key=Tuple.sort_key)
+        operations: List[Operation] = [("insert", tup) for tup in contents]
+        operations.extend(self.sampler.sampled_operations())
+        return Trace(
+            self.spec,
+            operations,
+            name=f"{self.name}-gen{self.generation}",
+            enforce_fds=False,
+        )
+
+    def retune(
+        self,
+        reason: str = "explicit",
+        drift: Optional[float] = None,
+        dual_write: Optional[bool] = None,
+    ) -> RetuneReport:
+        """Re-run the autotuner now; hot-swap the backing if a better layout wins.
+
+        The current layout is force-included in the search, so "no better
+        layout" resolves to a no-swap report rather than a migration to an
+        equivalent shape.  ``dual_write`` forces (or suppresses) the
+        incremental migration window; by default instances of at least
+        ``policy.dual_write_threshold`` rows take it.
+
+        Deterministic by construction for seeded workloads: the sampler's
+        RNG is seeded and the autotuner's replay is exact.
+        """
+        if self._migration is not None:
+            raise LiveRelationError(
+                "cannot re-tune while a dual-write migration window is open "
+                "(call finish_migration() first)"
+            )
+        report = RetuneReport(
+            self.sampler.seen, reason, drift, self.backing_layout()
+        )
+        self.retunes.append(report)
+        current = self.backing_decomposition()
+        trace = self._retune_trace()
+        include = [current] if current is not None else []
+        # Eviction-mode replay, matching the synthesized trace (see
+        # _retune_trace); the new backing itself runs in self.enforce_fds.
+        report.tuning = autotune(self.spec, trace, include=include, enforce_fds=False)
+        # The tune consumed this window: future drift is measured against it.
+        self.sampler.rebase()
+        self._ops_since_tune = 0
+
+        winner = report.tuning.winner_decomposition
+        report.new_layout = winner.describe()
+        if current is not None and canonical_shape(winner) == canonical_shape(current):
+            report.new_layout = report.old_layout
+            return report
+
+        new_cls = report.tuning.compile_winner()
+        new_backing = new_cls(enforce_fds=self.enforce_fds)
+        if dual_write is None:
+            dual_write = len(self._backing) >= self.policy.dual_write_threshold
+        if dual_write:
+            pending: Deque[Tuple] = deque(
+                sorted(self._backing.to_relation().tuples, key=Tuple.sort_key)
+            )
+            report.dual_write = True
+            self._migration = _Migration(
+                new_backing, pending, self.policy.migrate_batch, report
+            )
+            self._pump_migration()
+        else:
+            self._migrate_sync(new_backing, report)
+        return report
+
+    def _migrate_sync(self, new_backing: RelationInterface, report: RetuneReport) -> None:
+        """One-pass α-migration: enumerate the old backing, reinsert, verify."""
+        snapshot = self._backing.to_relation()
+        for tup in sorted(snapshot.tuples, key=Tuple.sort_key):
+            new_backing.insert(tup)
+            report.migrated += 1
+        self._verify_and_swap(new_backing, snapshot, report)
+
+    def _pump_migration(self) -> None:
+        """Copy the next batch of a dual-write window; swap when drained.
+
+        Each pending row is revalidated against the old backing — a row
+        removed or updated since the window opened is skipped (its current
+        form reached the target through dual-writing or re-enqueueing).
+        """
+        migration = self._migration
+        assert migration is not None
+        pending = migration.pending
+        for _ in range(min(migration.batch, len(pending))):
+            row = pending.popleft()
+            if self._backing.contains(row):
+                migration.target.insert(row)
+                migration.report.migrated += 1
+        if not pending:
+            self._migration = None
+            self._verify_and_swap(
+                migration.target, self._backing.to_relation(), migration.report
+            )
+
+    def finish_migration(self) -> None:
+        """Drain any open dual-write window synchronously."""
+        while self._migration is not None:
+            self._pump_migration()
+
+    def _verify_and_swap(
+        self,
+        new_backing: RelationInterface,
+        expected: Relation,
+        report: RetuneReport,
+    ) -> None:
+        """The α-equivalence gate, then the atomic swap."""
+        check = getattr(new_backing, "check_well_formed", None)
+        if check is not None:
+            check()
+        migrated = new_backing.to_relation()
+        if migrated != expected:
+            raise LiveRelationError(
+                f"α-migration to {report.new_layout!r} diverged: the new backing "
+                f"represents {len(migrated.tuples ^ expected.tuples)} differing "
+                f"tuple(s) — refusing to swap"
+            )
+        self._backing = new_backing
+        self.generation += 1
+        report.swapped = True
+        report.generation = self.generation
+
+    # -- inspection (forwarded, never sampled) -----------------------------------
+
+    def to_relation(self) -> Relation:
+        return self._backing.to_relation()
+
+    def checkpoint(self) -> Relation:
+        return self.to_relation()
+
+    def check_well_formed(self) -> None:
+        check = getattr(self._backing, "check_well_formed", None)
+        if check is not None:
+            check()
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._backing)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self._backing
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveRelation({type(self._backing).__name__}, gen={self.generation}, "
+            f"size={len(self)})"
+        )
+
+
+# -- the unified factory ---------------------------------------------------------
+
+#: The tiers :func:`open_relation` accepts.
+TIERS = ("auto", "reference", "interpreted", "compiled")
+
+
+def default_layout(spec: RelationSpec) -> str:
+    """The layout used when the caller supplies neither one nor a trace:
+    one hash path keyed by the smallest minimal key, residual columns in
+    the unit leaf — adequate for every specification by construction."""
+    key = min(spec.minimal_keys(), key=lambda k: (len(k), tuple(sorted(k))))
+    rest = sorted(spec.columns - key)
+    return f"{', '.join(sorted(key))} -> htable {{{', '.join(rest)}}}"
+
+
+def open_relation(
+    spec: RelationSpec,
+    layout: Union[Decomposition, str, None] = None,
+    *,
+    tier: str = "auto",
+    tune: Optional[Trace] = None,
+    live: bool = False,
+    enforce_fds: bool = True,
+    policy: Union[RetunePolicy, Mapping, None] = None,
+    sampler: Optional[SamplingTraceRecorder] = None,
+    class_name: Optional[str] = None,
+    sizes=None,
+) -> RelationInterface:
+    """Open a relation: the one documented entry point for every tier.
+
+    Exported as ``repro.open``.  Layout resolution:
+
+    * ``layout`` given, ``tune=None`` — use that layout;
+    * ``tune`` given (a :class:`~repro.autotuner.trace.Trace`) — run the §5
+      autotuner and use its winner; a ``layout`` passed alongside is
+      force-included in the search as a baseline candidate;
+    * neither — :func:`default_layout` (a hash path over the smallest
+      minimal key).
+
+    ``tier`` selects the implementation: ``"reference"`` (the
+    specification-level oracle; any layout is ignored), ``"interpreted"``
+    (:class:`~repro.decomposition.relation.DecomposedRelation`),
+    ``"compiled"`` (:func:`repro.codegen.compile_relation`), or ``"auto"``
+    (currently the compiled tier — the fast one).  ``sizes`` are optional
+    per-edge container-size estimates forwarded to the compiler's plan
+    table (ignored by the other tiers; rejected together with ``tune``,
+    whose winner carries its own trace-derived estimates).
+
+    ``live=True`` wraps the backing in a :class:`LiveRelation` — an
+    always-on sampled, self-re-tuning facade governed by ``policy`` (a
+    :class:`RetunePolicy` or a mapping of its fields) and ``sampler``.
+    """
+    if tier not in TIERS:
+        raise LiveRelationError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    if tune is not None and sizes is not None:
+        raise LiveRelationError(
+            "sizes cannot be combined with tune: the autotuned winner is "
+            "compiled against its own trace-derived size estimates"
+        )
+
+    decomposition: Optional[Decomposition] = None
+    tuning: Optional[TuningResult] = None
+    if tune is not None:
+        include = [layout] if layout is not None else []
+        tuning = autotune(spec, tune, include=include, enforce_fds=enforce_fds)
+        decomposition = tuning.winner_decomposition
+    elif layout is not None:
+        if isinstance(layout, str):
+            decomposition = parse_decomposition(layout)
+        else:
+            decomposition = layout
+
+    backing: RelationInterface
+    if tier == "reference":
+        backing = ReferenceRelation(spec, enforce_fds=enforce_fds)
+    else:
+        if decomposition is None:
+            decomposition = parse_decomposition(default_layout(spec))
+        if tier == "interpreted":
+            backing = DecomposedRelation(spec, decomposition, enforce_fds=enforce_fds)
+        else:  # "compiled" and "auto"
+            if tuning is not None:
+                cls = tuning.compile_winner(class_name)
+            else:
+                cls = compile_relation(spec, decomposition, class_name, sizes=sizes)
+            backing = cls(enforce_fds=enforce_fds)
+
+    if not live:
+        return backing
+    return LiveRelation(backing, policy=policy, sampler=sampler)
