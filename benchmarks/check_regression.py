@@ -16,9 +16,16 @@ prints a warning and does not fail the run.  Only the access-count
 regressions are fatal there.  Full-length runs keep the timing check fatal,
 since at default trace sizes an inversion means something real.
 
+With ``--strict-accesses`` the gate tightens from "no more than 2x" to "not
+one access more": the chaos CI job uses it to prove that the fault-injection
+hooks and the exception-safety undo-log bookkeeping add **zero counted
+accesses** when no fault is armed — the counts must be byte-identical to the
+pre-instrumentation baseline, not merely within headroom.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py BENCH_5.json benchmarks/baseline.json
+    PYTHONPATH=src python benchmarks/check_regression.py --strict-accesses BENCH_7.json benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -30,17 +37,37 @@ import sys
 MAX_ACCESS_REGRESSION = 2.0
 
 
-def compare(current: dict, baseline: dict) -> "tuple[list, list]":
+def compare(current: dict, baseline: dict, strict_accesses: bool = False) -> "tuple[list, list]":
     """Compare *current* against *baseline*.
 
     Returns ``(failures, warnings)``: deterministic access-count regressions
     are always failures; a timing inversion (compiled slower than
     interpreted) is a failure on full-length runs but only a warning in
     quick mode, whose traces are too short for reliable wall-clock.
+
+    ``strict_accesses=True`` additionally fails on *any* access-count
+    increase — the zero-overhead gate for always-compiled-in instrumentation
+    (fault hooks, undo journals) that must never touch the counters.
     """
     failures = []
     warnings = []
     quick = current.get("meta", {}).get("mode") == "quick"
+
+    def check_accesses(label: str, cur_accesses: int, base_accesses: int) -> None:
+        if not base_accesses:
+            return
+        if cur_accesses > base_accesses * MAX_ACCESS_REGRESSION:
+            failures.append(
+                f"{label}: {cur_accesses:,d} accesses vs baseline "
+                f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
+            )
+        elif strict_accesses and cur_accesses > base_accesses:
+            failures.append(
+                f"{label}: {cur_accesses:,d} accesses vs baseline {base_accesses:,d} "
+                f"(+{cur_accesses - base_accesses:,d}; strict gate — disabled fault "
+                f"hooks and undo bookkeeping must add zero counted accesses)"
+            )
+
     for name, base_data in sorted(baseline.get("workloads", {}).items()):
         cur_data = current.get("workloads", {}).get(name)
         if cur_data is None:
@@ -51,13 +78,9 @@ def compare(current: dict, baseline: dict) -> "tuple[list, list]":
             if cur_tier is None:
                 failures.append(f"{name}/{tier}: tier missing from current results")
                 continue
-            base_accesses = base_tier.get("accesses", 0)
-            cur_accesses = cur_tier.get("accesses", 0)
-            if base_accesses and cur_accesses > base_accesses * MAX_ACCESS_REGRESSION:
-                failures.append(
-                    f"{name}/{tier}: {cur_accesses:,d} accesses vs baseline "
-                    f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
-                )
+            check_accesses(
+                f"{name}/{tier}", cur_tier.get("accesses", 0), base_tier.get("accesses", 0)
+            )
         # The autotuner's winning access count is as deterministic as the
         # tier counts; a >2x jump means the scorer started picking a
         # genuinely worse layout.  As with a missing tier, a baseline that
@@ -73,12 +96,7 @@ def compare(current: dict, baseline: dict) -> "tuple[list, list]":
                 f"(baseline has it; was the harness run with --skip-autotune?)"
             )
         elif base_accesses:
-            cur_accesses = cur_tuned.get("accesses", 0)
-            if cur_accesses > base_accesses * MAX_ACCESS_REGRESSION:
-                failures.append(
-                    f"{name}/autotuned: {cur_accesses:,d} accesses vs baseline "
-                    f"{base_accesses:,d} (>{MAX_ACCESS_REGRESSION}x regression)"
-                )
+            check_accesses(f"{name}/autotuned", cur_tuned.get("accesses", 0), base_accesses)
         speedup = cur_data.get("speedup_compiled_vs_interpreted")
         if speedup is not None and speedup < 1.0:
             message = (
@@ -92,12 +110,16 @@ def compare(current: dict, baseline: dict) -> "tuple[list, list]":
 
 
 def main(argv: list) -> int:
-    if len(argv) != 3:
+    args = list(argv[1:])
+    strict_accesses = "--strict-accesses" in args
+    if strict_accesses:
+        args.remove("--strict-accesses")
+    if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1]) as handle:
+    with open(args[0]) as handle:
         current = json.load(handle)
-    with open(argv[2]) as handle:
+    with open(args[1]) as handle:
         baseline = json.load(handle)
 
     current_mode = current.get("meta", {}).get("mode")
@@ -133,7 +155,7 @@ def main(argv: list) -> int:
         speedup = cur_data.get("speedup_compiled_vs_interpreted")
         print(f"{name:<12} compiled-vs-interpreted speedup: {speedup}x")
 
-    failures, warnings = compare(current, baseline)
+    failures, warnings = compare(current, baseline, strict_accesses=strict_accesses)
     if warnings:
         print("\nWARNINGS (advisory, not failing the run):", file=sys.stderr)
         for warning in warnings:
@@ -143,7 +165,10 @@ def main(argv: list) -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nno benchmark regressions (>2x) against the baseline")
+    if strict_accesses:
+        print("\nno access-count increase against the baseline (strict gate)")
+    else:
+        print("\nno benchmark regressions (>2x) against the baseline")
     return 0
 
 

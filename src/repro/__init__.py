@@ -68,6 +68,7 @@ from .decomposition import (
     plan_query,
     validate_plan,
 )
+from .faults import FAULTS, fault_sites, inject
 from .live import (
     LiveRelation,
     RetunePolicy,
@@ -86,6 +87,7 @@ __version__ = "0.1.0"
 __all__ = [
     "DecomposedRelation",
     "Decomposition",
+    "FAULTS",
     "FDSet",
     "FunctionalDependency",
     "LiveRelation",
@@ -103,7 +105,9 @@ __all__ = [
     "check_adequacy",
     "compile_relation",
     "enumerate_decompositions",
+    "fault_sites",
     "generate_source",
+    "inject",
     "is_adequate",
     "open",
     "open_relation",

@@ -236,7 +236,10 @@ def replay_operations(relation: RelationInterface, operations: List[Operation]) 
         elif kind == "query":
             query(op[1], op[2])
         else:  # Unreachable for Trace (validated); raw lists may be malformed.
-            raise ValueError(f"unknown operation {kind!r}")
+            raise AutotunerError(
+                f"unknown operation {kind!r}; valid kinds: "
+                f"insert, remove, update, query"
+            )
     return len(operations)
 
 

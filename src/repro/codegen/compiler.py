@@ -62,6 +62,7 @@ from ..decomposition.model import (
 )
 from ..decomposition.parser import parse_decomposition
 from ..decomposition.plan import JoinPlan, LookupStep, PlanStep, ScanStep, plan_query
+from ..faults import register_site
 from ..structures.registry import canonical_structure_name, size_class
 from .emitter import Emitter
 
@@ -72,6 +73,23 @@ __all__ = [
     "compile_relation",
     "generate_source",
 ]
+
+#: Injection sites emitted into every generated class's mutators.  They sit
+#: *inside* the unrolled walks — after some links/registry entries have been
+#: applied — so arming one exercises the emitted rollback blocks, not the
+#: trivial nothing-done-yet prefix.  Registered here (at compiler import)
+#: so the chaos suite's sweep covers the compiled tier even before the
+#: first class is generated.
+for _site in (
+    "codegen.insert.fd_evict",
+    "codegen.insert.store",
+    "codegen.insert.link_shared",
+    "codegen.insert.registry",
+    "codegen.remove.unlink",
+    "codegen.remove.registry_pop",
+    "codegen.update.reinsert",
+):
+    register_site(_site)
 
 #: Specialised query methods are generated for *every* subset of the
 #: specification columns up to this width (2**6 = 64 methods).  Wider
@@ -243,13 +261,19 @@ class _RelationCompiler:
         probe the interpreted tier's key-based removal pays.  Intrusive
         unlinks always charge their single access — their preceding probe,
         if any, was a key *search*, and the O(1) unlink is a separate
-        pointer splice."""
+        pointer splice.
+
+        Every unlink carries a ``codegen.remove.unlink`` injection site and
+        journals the deleted entry (an uncounted read) so the enclosing
+        mutator's rollback block can relink it."""
         strategy = _strategy(edge)
+        self.em.fault_check("codegen.remove.unlink")
         if strategy == "list":
-            self.em.line(f"_l_del({cexpr}, {kexpr})")
+            self.em.line(f"_l_del_j({cexpr}, {kexpr}, _j)")
             return
         if strategy == "intrusive" or not probe_paid:
             self._emit_access_count(edge, cexpr, op="unlink")
+        self.em.line(f"_j.append((0, {cexpr}, {kexpr}, {cexpr}[{kexpr}]))")
         self.em.line(f"del {cexpr}[{kexpr}]")
 
     def _residual_condition(self, leaf: DecompNode, uvar: str, val: Callable[[str], str]) -> str:
@@ -539,11 +563,14 @@ class _RelationCompiler:
         with em.indent():
             em.line("for _r in _conf:")
             with em.indent():
-                em.line("self._remove_row(_r)")
+                em.fault_check("codegen.insert.fd_evict")
+                em.line("self._remove_row(_r, _j)")
 
     def _emit_store_walk(self, node: DecompNode, inst_expr: str, shared_emitted: set) -> None:
         em = self.em
         if node.is_unit:  # Unit root: the instance is the residual itself.
+            em.fault_check("codegen.insert.store")
+            em.line("_j.append((5, self, self._root))")
             em.line(f"self._root = {self._residual_expr(node, self._vexpr)}")
             return
         for idx, e in enumerate(node.edges):
@@ -554,10 +581,14 @@ class _RelationCompiler:
                 self._emit_shared_store(e, cvar, kexpr, shared_emitted)
             elif e.child.is_unit:
                 residual = self._residual_expr(e.child, self._vexpr)
+                em.fault_check("codegen.insert.store")
                 self._emit_access_count(e, cvar)
                 if _strategy(e) == "list":
-                    em.line(f"_l_put({cvar}, {kexpr}, {residual})")
+                    em.line(f"_l_put_j({cvar}, {kexpr}, {residual}, _j)")
                 else:
+                    # The uncounted .get captures the displaced residual (if
+                    # any) for the rollback block.
+                    em.line(f"_j.append((0, {cvar}, {kexpr}, {cvar}.get({kexpr}, _MISS)))")
                     em.line(f"{cvar}[{kexpr}] = {residual}")
             else:
                 nvar = self._gensym("n")
@@ -567,8 +598,10 @@ class _RelationCompiler:
                     em.line(f"{nvar} = {self._node_literal(e.child)}")
                     if _strategy(e) == "list":
                         em.line(f"{cvar}.append([{kexpr}, {nvar}])")
+                        em.line(f"_j.append((4, {cvar}))")
                     else:
                         em.line(f"{cvar}[{kexpr}] = {nvar}")
+                        em.line(f"_j.append((1, {cvar}, {kexpr}))")
                 self._emit_store_walk(e.child, nvar, shared_emitted)
 
     def _emit_shared_store(self, e: MapEdge, cvar: str, kexpr: str, shared_emitted: set) -> None:
@@ -586,21 +619,28 @@ class _RelationCompiler:
             em.line(f"_sn{j} = _sc{j} is None")
             em.line(f"if _sn{j}:")
             with em.indent():
+                em.fault_check("codegen.insert.registry")
                 em.line(f"_sc{j} = {self._cell_literal(e.child)}")
                 em.line(f"self._s{j}[_b{j}] = _sc{j}")
+                em.line(f"_j.append((1, self._s{j}, _b{j}))")
             if e.child.is_unit and e.child.unit_columns:
+                em.line(f"_j.append((2, _sc{j}, _sc{j}[0]))")
                 em.line(f"_sc{j}[0] = {self._residual_expr(e.child, self._vexpr)}")
             elif e.child.is_unit:
+                em.line(f"_j.append((2, _sc{j}, _sc{j}[0]))")
                 em.line(f"_sc{j}[0] = True")
             descend = not e.child.is_unit
         em.line(f"if _sn{j}:")
         with em.indent():
+            em.fault_check("codegen.insert.link_shared")
             if _strategy(e) == "list":
                 em.line("if en: _C.accesses += 1")
                 em.line(f"{cvar}.append([{kexpr}, _sc{j}])")
+                em.line(f"_j.append((4, {cvar}))")
             else:
                 self._emit_access_count(e, cvar, op="link")
                 em.line(f"{cvar}[{kexpr}] = _sc{j}")
+                em.line(f"_j.append((1, {cvar}, {kexpr}))")
         if descend:
             self._emit_store_walk(e.child, f"_sc{j}", shared_emitted)
 
@@ -610,6 +650,8 @@ class _RelationCompiler:
             cond = self._residual_condition(node, "self._root", self._vexpr)
             em.line(f"if {cond}:")
             with em.indent():
+                em.fault_check("codegen.remove.unlink")
+                em.line("_j.append((5, self, self._root))")
                 em.line("self._root = _MISS")
                 em.line("removed = True")
             return
@@ -702,6 +744,7 @@ class _RelationCompiler:
             "from repro.core.tuples import Tuple",
             "from repro.structures.base import COUNTER as _C",
             "from repro.core.values import values_sort_key as _row_key",
+            "from repro.faults import FAULTS as _F",
             "",
             "_MISS = object()",
             f"_COLS = ({', '.join(repr(c) for c in self.cols)},)",
@@ -750,6 +793,66 @@ class _RelationCompiler:
             "            c.pop()",
             "            return True",
             "    return False",
+            "",
+            "",
+            "# Journal-aware list helpers: identical probing and counting to",
+            "# _l_put/_l_del, plus one uncounted journal append per mutation so",
+            "# the emitted rollback blocks can restore the entry exactly.",
+            "def _l_put_j(c, k, v, j):",
+            "    en = _C.enabled",
+            "    for e in c:",
+            "        if en:",
+            "            _C.accesses += 1",
+            "        if e[0] == k:",
+            "            j.append((7, e, e[1]))",
+            "            e[1] = v",
+            "            return",
+            "    c.append([k, v])",
+            "    j.append((4, c))",
+            "",
+            "",
+            "def _l_del_j(c, k, j):",
+            "    en = _C.enabled",
+            "    for i, e in enumerate(c):",
+            "        if en:",
+            "            _C.accesses += 1",
+            "        if e[0] == k:",
+            "            c[i] = c[-1]",
+            "            c.pop()",
+            "            j.append((3, c, e))",
+            "            return True",
+            "    return False",
+            "",
+            "",
+            "def _undo(j):",
+            "    \"\"\"Replay a mutator's undo journal newest-first.",
+            "",
+            "    Entries are (kind, ...) tuples appended by the emitted",
+            "    rollback-aware mutators; replaying them in reverse restores",
+            "    the pre-operation state exactly.  Never charges the counter:",
+            "    it only runs on the exception path.\"\"\"",
+            "    for x in reversed(j):",
+            "        k = x[0]",
+            "        if k == 0:  # dict entry: restore old value (_MISS = absent)",
+            "            if x[3] is _MISS:",
+            "                x[1].pop(x[2], None)",
+            "            else:",
+            "                x[1][x[2]] = x[3]",
+            "        elif k == 1:  # fresh dict entry: delete",
+            "            x[1].pop(x[2], None)",
+            "        elif k == 2:  # shared unit cell: restore residual",
+            "            x[1][0] = x[2]",
+            "        elif k == 3:  # deleted list entry: relink",
+            "            x[1].append(x[2])",
+            "        elif k == 4:  # appended list entry: unlink",
+            "            x[1].pop()",
+            "        elif k == 5:  # unit root: restore",
+            "            x[1]._root = x[2]",
+            "        elif k == 6:  # row count: restore delta",
+            "            x[1]._count += x[2]",
+            "        elif k == 7:  # list entry value: restore",
+            "            x[1][1] = x[2]",
+            "    del j[:]",
             "",
             "",
         )
@@ -854,22 +957,40 @@ class _RelationCompiler:
     def _emit_insert_row(self) -> None:
         em = self.em
         self._reset_symbols()
-        with em.block("def _insert_row(self, row):"):
+        with em.block("def _insert_row(self, row, _j=None):"):
             em.docstring(
                 "Insert a full row; returns whether it was new.  When FDs "
                 "are not enforced, rows FD-conflicting with the new row are "
                 "first removed from every branch (last-writer-wins, per the "
-                "RelationInterface contract)."
+                "RelationInterface contract).  Strongly exception safe: "
+                "every link, registry entry and eviction is journalled into "
+                "_j and undone in reverse if any step fails; pass a caller's "
+                "journal to enlist in an enclosing operation's rollback."
             )
             em.line("en = _C.enabled")
             em.line(f"{self._row_unpack()} = row")
             self._emit_presence_check(["return False"])
-            if list(self.spec.fds):
-                em.line("if not self.enforce_fds:")
+            em.line("_own = _j is None")
+            em.line("if _own:")
+            with em.indent():
+                em.line("_j = []")
+            em.line("try:")
+            with em.indent():
+                if list(self.spec.fds):
+                    em.line("if not self.enforce_fds:")
+                    with em.indent():
+                        self._emit_fd_eviction()
+                self._emit_store_walk(self.decomposition.root, "self._root", set())
+            em.line("except BaseException:")
+            with em.indent():
+                em.line("if _own:")
                 with em.indent():
-                    self._emit_fd_eviction()
-            self._emit_store_walk(self.decomposition.root, "self._root", set())
+                    em.line("_undo(_j)")
+                em.line("raise")
             em.line("self._count += 1")
+            em.line("if not _own:")
+            with em.indent():
+                em.line("_j.append((6, self, -1))")
             em.line("return True")
         em.line()
 
@@ -877,24 +998,38 @@ class _RelationCompiler:
         em = self.em
         with em.block("def remove(self, pattern=None):"):
             em.line("p = self._pattern_dict(pattern, 'removal pattern')")
-            em.line("for r in list(self._query_rows(p)):")
+            # One journal across the victims: a failure mid-removal relinks
+            # the rows already removed, so the operation is all-or-nothing.
+            em.line("_j = []")
+            em.line("try:")
             with em.indent():
-                em.line("self._remove_row(r)")
+                em.line("for r in list(self._query_rows(p)):")
+                with em.indent():
+                    em.line("self._remove_row(r, _j)")
+            em.line("except BaseException:")
+            with em.indent():
+                em.line("_undo(_j)")
+                em.line("raise")
         em.line()
 
     def _emit_remove_row(self) -> None:
         em = self.em
         self._reset_symbols()
-        with em.block("def _remove_row(self, row):"):
+        with em.block("def _remove_row(self, row, _j=None):"):
             em.docstring(
                 "Remove a full row from every branch, pruning empty "
                 "sub-instances.  Shared nodes are resolved once against "
                 "their registry; every parent then unlinks the same object "
-                "(O(1) per intrusive branch)."
+                "(O(1) per intrusive branch).  Strongly exception safe via "
+                "the same journal discipline as _insert_row."
             )
             em.line("en = _C.enabled")
             em.line(f"{self._row_unpack()} = row")
             em.line("removed = False")
+            em.line("_own = _j is None")
+            em.line("if _own:")
+            with em.indent():
+                em.line("_j = []")
             for j, node in enumerate(self.shared_nodes):
                 em.line(f"_b{j} = {self._bk_expr(node, self._vexpr)}")
                 em.line(f"_sc{j} = self._s{j}.get(_b{j})")
@@ -909,15 +1044,28 @@ class _RelationCompiler:
                 else:
                     em.line(f"_sh{j} = _sc{j} is not None")
                     em.line(f"_se{j} = False")
-            self._emit_remove_walk(self.decomposition.root, "self._root", set())
-            for j, node in enumerate(self.shared_nodes):
-                guard = f"_sh{j}" if node.is_unit else f"_sh{j} and _se{j}"
-                em.line(f"if {guard}:")
+            em.line("try:")
+            with em.indent():
+                self._emit_remove_walk(self.decomposition.root, "self._root", set())
+                for j, node in enumerate(self.shared_nodes):
+                    guard = f"_sh{j}" if node.is_unit else f"_sh{j} and _se{j}"
+                    em.line(f"if {guard}:")
+                    with em.indent():
+                        em.fault_check("codegen.remove.registry_pop")
+                        em.line(f"_j.append((0, self._s{j}, _b{j}, _sc{j}))")
+                        em.line(f"self._s{j}.pop(_b{j}, None)")
+            em.line("except BaseException:")
+            with em.indent():
+                em.line("if _own:")
                 with em.indent():
-                    em.line(f"self._s{j}.pop(_b{j}, None)")
+                    em.line("_undo(_j)")
+                em.line("raise")
             em.line("if removed:")
             with em.indent():
                 em.line("self._count -= 1")
+                em.line("if not _own:")
+                with em.indent():
+                    em.line("_j.append((6, self, 1))")
             em.line("return removed")
         em.line()
 
@@ -945,17 +1093,28 @@ class _RelationCompiler:
                     em.line("vic = set(victims)")
                     for fd in fds:
                         self._emit_update_fd_check(fd)
-            em.line("for r in victims:")
-            with em.indent():
-                em.line("self._remove_row(r)")
             em.line("if not self.enforce_fds:")
             with em.indent():
                 # Canonical re-insertion order so colliding merges resolve
                 # to the same winner in every tier (RelationInterface).
                 em.line("merged.sort(key=_row_key)")
-            em.line("for m in merged:")
+            # One journal across the whole remove-then-reinsert sequence: a
+            # failure anywhere restores every victim and unwinds every
+            # reinserted row — the update happens entirely or not at all.
+            em.line("_j = []")
+            em.line("try:")
             with em.indent():
-                em.line("self._insert_row(m)")
+                em.line("for r in victims:")
+                with em.indent():
+                    em.line("self._remove_row(r, _j)")
+                em.line("for m in merged:")
+                with em.indent():
+                    em.fault_check("codegen.update.reinsert")
+                    em.line("self._insert_row(m, _j)")
+            em.line("except BaseException:")
+            with em.indent():
+                em.line("_undo(_j)")
+                em.line("raise")
         em.line()
 
     def _emit_update_fd_check(self, fd) -> None:

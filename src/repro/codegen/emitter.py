@@ -60,6 +60,17 @@ class Emitter:
         self.line(header)
         return _Block(self)
 
+    def fault_check(self, site: str, injector: str = "_F") -> None:
+        """Emit a guarded fault-injection probe for *site*.
+
+        Two lines — ``if <injector>.active: <injector>.check(<site>)`` — the
+        same inert-by-default shape the hand-written tiers use: one
+        attribute read when no plan is armed, and never a counted access.
+        """
+        self.line(f"if {injector}.active:")
+        with self.indent():
+            self.line(f"{injector}.check({site!r})")
+
     def docstring(self, text: str) -> None:
         """Emit *text* as a (multi-line safe) docstring at current depth."""
         safe = text.replace("\\", "\\\\").replace('"""', '\\"\\"\\"')

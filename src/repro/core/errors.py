@@ -83,6 +83,59 @@ class LiveRelationError(ReproError):
     """
 
 
+class MigrationError(LiveRelationError):
+    """An α-migration between layouts failed and was aborted.
+
+    The old backing is left intact and keeps serving; the partially-built
+    target is discarded.  Raised (and caught by the self-healing loop) for
+    α-equivalence mismatches, failures while copying rows into the target,
+    and faults injected inside a dual-write window.
+    """
+
+    def __init__(self, message: str, stage: str = "migrate"):
+        super().__init__(message)
+        #: Which migration stage failed: ``"copy"``, ``"dual-write"``,
+        #: ``"verify"`` or ``"swap"``.
+        self.stage = stage
+
+
+class RetuneFailed(LiveRelationError):
+    """A live re-tune attempt failed end to end.
+
+    Carries the failed *stage* (``"tune"``, ``"compile"``, ``"verify"``,
+    ``"dual-write"``, ...) so the circuit-breaker bookkeeping and
+    ``live_stats()`` can report where the attempt died.
+    """
+
+    def __init__(self, message: str, stage: str = "tune"):
+        super().__init__(message)
+        self.stage = stage
+
+
+class FaultInjected(ReproError):
+    """A deliberately injected fault fired (see :mod:`repro.faults`).
+
+    Never raised in production configurations: the fault layer is inert
+    unless a test (or the chaos suite) arms a plan.  Carries the *site*
+    that fired and the 1-based *hit* index at which it fired, so sweeps
+    can assert exactly which interleaving point was exercised.
+    """
+
+    def __init__(self, site: str, hit: int = 1):
+        super().__init__(f"injected fault at site {site!r} (hit #{hit})")
+        self.site = site
+        self.hit = hit
+
+
+class IntegrityError(ReproError):
+    """An exception-safety rollback could not restore the previous state.
+
+    This is the one error after which an instance may be corrupt: a mutator
+    failed mid-flight *and* undoing its partial effects failed too.  The
+    original failure is attached as ``__cause__``.
+    """
+
+
 class ParseError(ReproError):
     """A specification / decomposition mapping file could not be parsed."""
 

@@ -20,6 +20,19 @@ from .tuples import Tuple
 __all__ = ["ReferenceRelation"]
 
 
+def _register_reference_sites():
+    # Deferred import: repro.faults imports repro.core.errors, which lives
+    # beside this module; importing lazily keeps the core package cycle-free.
+    from ..faults import FAULTS, register_site
+
+    for site in ("reference.insert", "reference.remove", "reference.update"):
+        register_site(site)
+    return FAULTS
+
+
+FAULTS = _register_reference_sites()
+
+
 class ReferenceRelation(RelationInterface):
     """Mutable relation implemented directly on a Python set of tuples.
 
@@ -56,12 +69,22 @@ class ReferenceRelation(RelationInterface):
                 raise FunctionalDependencyError(
                     f"inserting {tup!r} would violate {violated!r}"
                 )
-        else:
-            self._evict_fd_conflicts(tup)
-        self._tuples.add(tup)
+            if FAULTS.active:
+                FAULTS.check("reference.insert")
+            self._tuples.add(tup)
+            return
+        # Atomic commit: compute the evicted state aside, fault-check, then
+        # swap — the oracle is exception safe by construction (nothing after
+        # the check can raise), the discipline the other tiers' undo logs
+        # are tested against.
+        new_tuples = self._tuples - self._fd_conflicts(self._tuples, tup)
+        new_tuples.add(tup)
+        if FAULTS.active:
+            FAULTS.check("reference.insert")
+        self._tuples = new_tuples
 
-    def _evict_fd_conflicts(self, tup: Tuple) -> None:
-        """Remove every stored tuple that FD-conflicts with *tup*.
+    def _fd_conflicts(self, tuples: Set[Tuple], tup: Tuple) -> Set[Tuple]:
+        """Every tuple of *tuples* that FD-conflicts with *tup*.
 
         The last-writer-wins semantics of ``enforce_fds=False``: a
         representation can only hold FD-satisfying relations (Lemma 4), so
@@ -74,18 +97,21 @@ class ReferenceRelation(RelationInterface):
         for fd in self.spec.fds:
             lhs_value = tup.project(fd.lhs)
             rhs_value = tup.project(fd.rhs)
-            for existing in self._tuples:
+            for existing in tuples:
                 if (
                     existing.project(fd.lhs) == lhs_value
                     and existing.project(fd.rhs) != rhs_value
                 ):
                     conflicts.add(existing)
-        self._tuples -= conflicts
+        return conflicts
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
         pattern = coerce_tuple(pattern)
         self.spec.check_partial_tuple(pattern, role="removal pattern")
-        self._tuples = {t for t in self._tuples if not t.extends(pattern)}
+        survivors = {t for t in self._tuples if not t.extends(pattern)}
+        if FAULTS.active:
+            FAULTS.check("reference.remove")
+        self._tuples = survivors
 
     def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
         pattern = coerce_tuple(pattern)
@@ -101,20 +127,27 @@ class ReferenceRelation(RelationInterface):
                     f"update with pattern {pattern!r} and changes {changes!r} would violate "
                     f"the specification's functional dependencies"
                 )
+            if FAULTS.active:
+                FAULTS.check("reference.update")
             self._tuples = updated
         else:
             # Structural semantics: remove the victims, then re-insert the
             # merged tuples in canonical order, each insertion evicting its
             # FD conflicts — so every tier resolves colliding merges to the
             # same winner regardless of its container iteration order.
+            # Built aside and swapped in after the fault check (atomic
+            # commit, as in insert/remove).
             victims = [t for t in self._tuples if t.extends(pattern)]
             if not victims:
                 return
             merged = sorted({t.merge(changes) for t in victims}, key=Tuple.sort_key)
-            self._tuples.difference_update(victims)
+            new_tuples = self._tuples - set(victims)
             for tup in merged:
-                self._evict_fd_conflicts(tup)
-                self._tuples.add(tup)
+                new_tuples -= self._fd_conflicts(new_tuples, tup)
+                new_tuples.add(tup)
+            if FAULTS.active:
+                FAULTS.check("reference.update")
+            self._tuples = new_tuples
 
     def query(
         self,

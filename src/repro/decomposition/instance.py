@@ -53,16 +53,33 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set, Tuple as PyTuple
 
 from ..core.columns import ColumnSet
-from ..core.errors import WellFormednessError
+from ..core.errors import IntegrityError, WellFormednessError
 from ..core.relation import Relation
 from ..core.spec import RelationSpec
 from ..core.tuples import Tuple
+from ..faults import FAULTS, register_site
 from ..structures.base import MISSING, AssociativeContainer
 from ..structures.registry import size_class
 from .adequacy import check_adequacy
 from .model import Decomposition, DecompNode, MapEdge
 
 __all__ = ["NodeInstance", "DecompositionInstance"]
+
+#: The interpreted mutators' interleaving points, one injection site each —
+#: deliberately placed *after* some structural steps have been applied, so
+#: an armed fault exercises the undo journal rather than the trivial
+#: nothing-done-yet prefix.
+for _site in (
+    "instance.insert.unit",
+    "instance.insert.registry",
+    "instance.insert.link_shared",
+    "instance.insert.child_create",
+    "instance.remove.unit",
+    "instance.remove.unlink_shared",
+    "instance.remove.registry_pop",
+    "instance.remove.prune",
+):
+    register_site(_site)
 
 
 class NodeInstance:
@@ -93,9 +110,15 @@ class NodeInstance:
 class _OpContext:
     """Per-operation scratch state for DAG-aware mutator walks."""
 
-    __slots__ = ("created", "visited", "removals", "resolved")
+    __slots__ = ("created", "visited", "removals", "resolved", "undo")
 
     def __init__(self) -> None:
+        #: Undo journal: inverse operations recorded *after* each successful
+        #: structural mutation, replayed in reverse if the operation fails
+        #: mid-walk.  Entries are small tagged tuples (see
+        #: ``DecompositionInstance._rollback``) so the happy path pays one
+        #: list append per mutation and zero counted accesses.
+        self.undo: List[PyTuple] = []
         #: ids of shared NodeInstances created by this operation — they
         #: still need linking into each parent container as the walk
         #: reaches it (a registry hit from an *earlier* operation is
@@ -183,12 +206,28 @@ class DecompositionInstance:
         entries alive under sibling branches' keys.  Callers that must
         surface FD violations instead (``DecomposedRelation`` with
         ``enforce_fds=True``) check before calling.
+
+        **Strong exception safety**: if any structural step fails (e.g. an
+        injected fault inside a container mutator), every edge link,
+        registry entry, unit write and bookkeeping delta already applied —
+        including those of conflict evictions — is undone in reverse order,
+        then the failure propagates: the instance is left exactly as before
+        the call.  A failure *during* that rollback raises
+        :class:`~repro.core.errors.IntegrityError` instead.
         """
+        ctx = _OpContext()
+        try:
+            self._insert_with_evictions(tup, ctx)
+        except BaseException as exc:
+            self._rollback(ctx, exc)
+            raise
+
+    def _insert_with_evictions(self, tup: Tuple, ctx: _OpContext) -> None:
         for conflict in sorted(
             self._conflicts(self.root, tup, Tuple.empty()), key=Tuple.sort_key
         ):
             if conflict.columns == self.spec.columns:
-                self.remove_tuple(conflict)
+                self._remove_journalled(conflict, ctx)
                 continue
             # A conflict surfaced on a key-projection branch is only a
             # projection of its stored tuple; resolve it to the full
@@ -197,9 +236,25 @@ class DecompositionInstance:
             # calling insert_tuple, so this triggers only for direct
             # instance use.
             for victim in [t for t in self.iter_tuples() if t.extends(conflict)]:
-                self.remove_tuple(victim)
-        if self._insert(self.root, tup, _OpContext()):
+                self._remove_journalled(victim, ctx)
+        if self._insert(self.root, tup, ctx):
             self._tuple_count += 1
+
+    def _remove_journalled(self, tup: Tuple, ctx: _OpContext) -> bool:
+        """Remove *tup* appending inverse steps to *ctx*'s journal.
+
+        The removal walk gets a fresh context (the DAG memoisation in
+        ``removals``/``resolved`` is only valid within one walk) but shares
+        the caller's undo journal, so a later failure in the enclosing
+        operation also restores everything this eviction removed.
+        """
+        sub = _OpContext()
+        sub.undo = ctx.undo
+        removed, _ = self._remove(self.root, tup, sub)
+        if removed:
+            self._tuple_count -= 1
+            ctx.undo.append(("count", 1))
+        return removed
 
     def _conflicts(self, instance: NodeInstance, tup: Tuple, binding: Tuple) -> Set[Tuple]:
         """Existing tuples that share a unit binding with *tup* but differ."""
@@ -236,7 +291,10 @@ class DecompositionInstance:
         on the primary branch — well-formed instances agree across branches)."""
         node = instance.node
         if node.is_unit:
+            if FAULTS.active:
+                FAULTS.check("instance.insert.unit")
             added = instance.unit_value is None
+            ctx.undo.append(("unit", instance, instance.unit_value))
             instance.unit_value = tup.project(node.unit_columns)
             return added
         added = False
@@ -248,18 +306,26 @@ class DecompositionInstance:
                 binding = tup.project(bound)
                 child = registry.get(binding)
                 if child is None:
+                    if FAULTS.active:
+                        FAULTS.check("instance.insert.registry")
                     child = NodeInstance(e.child)
                     registry[binding] = child
+                    ctx.undo.append(("reg_del", registry, binding))
                     ctx.created.add(id(child))
                     for f in e.child.edges:
                         self.edge_containers[f] += 1
+                        ctx.undo.append(("ec", f, -1))
                 if id(child) in ctx.created:
                     # Fresh this operation: link into this parent too.  A
                     # registry hit from an earlier operation is already in
                     # every parent container (well-formedness), so no
                     # duplicate search is ever needed.
+                    if FAULTS.active:
+                        FAULTS.check("instance.insert.link_shared")
                     container.insert_unique(key, child)
+                    ctx.undo.append(("unlink", container, key, child))
                     self.edge_entries[e] += 1
+                    ctx.undo.append(("ee", e, -1))
                 if id(child) not in ctx.visited:
                     ctx.visited.add(id(child))
                     child_added = self._insert(child, tup, ctx)
@@ -268,11 +334,16 @@ class DecompositionInstance:
             else:
                 child = container.lookup(key)
                 if child is MISSING:
+                    if FAULTS.active:
+                        FAULTS.check("instance.insert.child_create")
                     child = NodeInstance(e.child)
                     container.insert(key, child)
+                    ctx.undo.append(("rm", container, key))
                     self.edge_entries[e] += 1
+                    ctx.undo.append(("ee", e, -1))
                     for f in e.child.edges:
                         self.edge_containers[f] += 1
+                        ctx.undo.append(("ec", f, -1))
                 child_added = self._insert(child, tup, ctx)
             if index == 0:
                 added = child_added
@@ -286,11 +357,63 @@ class DecompositionInstance:
         resolved through the registry and unlinked from each parent with
         ``remove_value`` — O(1) on intrusive containers, so a multi-branch
         removal pays no per-branch victim scan.
+
+        Strongly exception safe: a failure mid-walk undoes every unlink,
+        registry pop and unit clear already applied before propagating (see
+        :meth:`insert_tuple`).
         """
-        removed, _ = self._remove(self.root, tup, _OpContext())
+        ctx = _OpContext()
+        try:
+            removed, _ = self._remove(self.root, tup, ctx)
+        except BaseException as exc:
+            self._rollback(ctx, exc)
+            raise
         if removed:
             self._tuple_count -= 1
         return removed
+
+    def _rollback(self, ctx: _OpContext, cause: BaseException) -> None:
+        """Replay *ctx*'s undo journal in reverse, restoring the pre-op state.
+
+        Journal entries are tagged inverse steps recorded after each
+        successful mutation; replaying them newest-first unwinds the partial
+        operation exactly.  Container calls made here may recurse into
+        instrumented mutators, but injected faults are one-shot (disarmed
+        before raising) so a rollback never re-faults.  If the rollback
+        itself fails the instance may be corrupt, which is the one
+        non-recoverable outcome — reported as
+        :class:`~repro.core.errors.IntegrityError` with the original
+        failure as ``__cause__``.
+        """
+        try:
+            for entry in reversed(ctx.undo):
+                tag = entry[0]
+                if tag == "unit":  # restore a unit leaf's previous tuple
+                    entry[1].unit_value = entry[2]
+                elif tag == "rm":  # undo a fresh non-shared insert
+                    entry[1].remove(entry[2])
+                elif tag == "ins":  # undo a non-shared remove (child held)
+                    entry[1].insert(entry[2], entry[3])
+                elif tag == "unlink":  # undo a shared insert_unique
+                    entry[1].remove_value(entry[2], entry[3])
+                elif tag == "link":  # undo a shared remove_value
+                    entry[1].insert_unique(entry[2], entry[3])
+                elif tag == "reg_del":  # undo a registry entry creation
+                    entry[1].pop(entry[2], None)
+                elif tag == "reg_set":  # undo a registry pop
+                    entry[1][entry[2]] = entry[3]
+                elif tag == "ee":  # undo an edge_entries delta
+                    self.edge_entries[entry[1]] += entry[2]
+                elif tag == "ec":  # undo an edge_containers delta
+                    self.edge_containers[entry[1]] += entry[2]
+                elif tag == "count":  # undo a journalled eviction's count
+                    self._tuple_count += entry[1]
+        except BaseException:
+            raise IntegrityError(
+                "rollback after a failed mutator could not restore the "
+                "previous instance state; the instance may be corrupt"
+            ) from cause
+        ctx.undo.clear()
 
     def _remove(
         self, instance: NodeInstance, tup: Tuple, ctx: _OpContext
@@ -301,6 +424,9 @@ class DecompositionInstance:
             if instance.unit_value is not None and instance.unit_value == tup.project(
                 node.unit_columns
             ):
+                if FAULTS.active:
+                    FAULTS.check("instance.remove.unit")
+                ctx.undo.append(("unit", instance, instance.unit_value))
                 instance.unit_value = None
                 return True, True
             return False, instance.unit_value is None
@@ -326,11 +452,19 @@ class DecompositionInstance:
                     child_removed, child_empty = result
                     removed = removed or child_removed
                     if child_empty:
+                        if FAULTS.active:
+                            FAULTS.check("instance.remove.unlink_shared")
                         container.remove_value(key, child)
+                        ctx.undo.append(("link", container, key, child))
                         self.edge_entries[e] -= 1
+                        ctx.undo.append(("ee", e, 1))
+                        if FAULTS.active:
+                            FAULTS.check("instance.remove.registry_pop")
                         if registry.pop(binding, None) is not None:
+                            ctx.undo.append(("reg_set", registry, binding, child))
                             for f in e.child.edges:
                                 self.edge_containers[f] -= 1
+                                ctx.undo.append(("ec", f, 1))
             else:
                 child = container.lookup(key)
                 if child is not MISSING:
@@ -344,10 +478,15 @@ class DecompositionInstance:
                         # held by reference (otherwise ``ilist`` would beat
                         # ``dlist`` on ordinary edges and the enumerator's
                         # cost-class collapse would be unsound).
+                        if FAULTS.active:
+                            FAULTS.check("instance.remove.prune")
                         container.remove(key)
+                        ctx.undo.append(("ins", container, key, child))
                         self.edge_entries[e] -= 1
+                        ctx.undo.append(("ee", e, 1))
                         for f in child.node.edges:
                             self.edge_containers[f] -= 1
+                            ctx.undo.append(("ec", f, 1))
             if len(container):
                 empty = False
         return removed, empty

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Union
 
 from ..core.columns import ColumnSet, columns
-from ..core.errors import FunctionalDependencyError
+from ..core.errors import FunctionalDependencyError, IntegrityError
 from ..core.interface import RelationInterface, coerce_tuple
 from ..core.relation import Relation
 from ..core.spec import RelationSpec
@@ -115,24 +115,62 @@ class DecomposedRelation(RelationInterface):
                             f"inserting {tup!r} would violate {fd!r}"
                         )
         else:
-            self._evict_fd_conflicts(tup)
+            evicted = self._evict_fd_conflicts(tup)
+            try:
+                self.instance.insert_tuple(tup)
+            except BaseException as exc:
+                self._undo_ops([("rem", t) for t in evicted], exc)
+                raise
+            return
         self.instance.insert_tuple(tup)
 
-    def _evict_fd_conflicts(self, tup: Tuple) -> None:
+    def _undo_ops(self, done: List, cause: BaseException) -> None:
+        """Invert the completed sub-operations of a failed relational op.
+
+        ``insert_tuple``/``remove_tuple`` are each individually atomic (they
+        roll themselves back on failure), so restoring the operation as a
+        whole means inverting the *completed* calls in reverse order.  A
+        failure while inverting leaves the relation inconsistent and is
+        reported as :class:`~repro.core.errors.IntegrityError` with the
+        original failure as ``__cause__`` (injected faults are one-shot, so
+        this path is unreachable under the fault harness).
+        """
+        try:
+            for kind, tup in reversed(done):
+                if kind == "rem":
+                    self.instance.insert_tuple(tup)
+                else:
+                    self.instance.remove_tuple(tup)
+        except BaseException:
+            raise IntegrityError(
+                "rollback of a failed relational operation could not restore "
+                "the previous state; the relation may be corrupt"
+            ) from cause
+
+    def _evict_fd_conflicts(self, tup: Tuple) -> List[Tuple]:
         """Remove every stored tuple FD-conflicting with *tup* (the
-        last-writer-wins semantics of ``enforce_fds=False``).
+        last-writer-wins semantics of ``enforce_fds=False``); returns the
+        evicted tuples so a failing caller can reinsert them.
 
         ``insert_tuple`` already displaces tuples sharing a *unit binding*,
         but that structural notion depends on the layout — a fully-bound
         decomposition has empty units and displaces nothing — so the
         eviction is done here against the specification's FDs, keeping all
-        layouts and tiers in agreement.
+        layouts and tiers in agreement.  Strongly exception safe: a failure
+        mid-eviction reinserts the tuples already evicted, then propagates.
         """
-        for fd in self.spec.fds:
-            rhs_value = tup.project(fd.rhs)
-            for existing in self._matches(tup.project(fd.lhs)):
-                if existing.project(fd.rhs) != rhs_value:
-                    self.instance.remove_tuple(existing)
+        removed: List[Tuple] = []
+        try:
+            for fd in self.spec.fds:
+                rhs_value = tup.project(fd.rhs)
+                for existing in self._matches(tup.project(fd.lhs)):
+                    if existing.project(fd.rhs) != rhs_value:
+                        self.instance.remove_tuple(existing)
+                        removed.append(existing)
+        except BaseException as exc:
+            self._undo_ops([("rem", t) for t in removed], exc)
+            raise
+        return removed
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
         """Remove every tuple extending *pattern*.
@@ -147,8 +185,14 @@ class DecomposedRelation(RelationInterface):
         """
         pattern = coerce_tuple(pattern)
         self.spec.check_partial_tuple(pattern, role="removal pattern")
-        for victim in self._matches(pattern):
-            self.instance.remove_tuple(victim)
+        removed: List[Tuple] = []
+        try:
+            for victim in self._matches(pattern):
+                self.instance.remove_tuple(victim)
+                removed.append(victim)
+        except BaseException as exc:
+            self._undo_ops([("rem", t) for t in removed], exc)
+            raise
 
     def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
         pattern = coerce_tuple(pattern)
@@ -187,18 +231,27 @@ class DecomposedRelation(RelationInterface):
                                 f"update with pattern {pattern!r} and changes "
                                 f"{changes!r} would violate {fd!r} against {existing!r}"
                             )
-        for victim in victims:
-            self.instance.remove_tuple(victim)
-        if self.enforce_fds:
-            for tup in merged:
-                self.instance.insert_tuple(tup)
-        else:
-            # Canonical re-insertion order: colliding merges must resolve
-            # to the same winner in every tier, independent of container
-            # iteration order (see RelationInterface).
-            for tup in sorted(dict.fromkeys(merged), key=Tuple.sort_key):
-                self._evict_fd_conflicts(tup)
-                self.instance.insert_tuple(tup)
+        done: List = []
+        try:
+            for victim in victims:
+                self.instance.remove_tuple(victim)
+                done.append(("rem", victim))
+            if self.enforce_fds:
+                for tup in merged:
+                    self.instance.insert_tuple(tup)
+                    done.append(("ins", tup))
+            else:
+                # Canonical re-insertion order: colliding merges must resolve
+                # to the same winner in every tier, independent of container
+                # iteration order (see RelationInterface).
+                for tup in sorted(dict.fromkeys(merged), key=Tuple.sort_key):
+                    for evicted in self._evict_fd_conflicts(tup):
+                        done.append(("rem", evicted))
+                    self.instance.insert_tuple(tup)
+                    done.append(("ins", tup))
+        except BaseException as exc:
+            self._undo_ops(done, exc)
+            raise
 
     def query(
         self,

@@ -38,14 +38,23 @@ from __future__ import annotations
 
 import math
 import random
+import threading
+import time
 from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple as PyTuple, Union
 
 from .autotuner.enumerator import canonical_shape
+from .autotuner.scorer import ScoredCandidate
 from .autotuner.trace import Trace
 from .autotuner.tuner import TuningResult, autotune
 from .codegen import compile_relation
-from .core.errors import LiveRelationError
+from .core.errors import (
+    FaultInjected,
+    LiveRelationError,
+    MigrationError,
+    ReproError,
+    RetuneFailed,
+)
 from .core.interface import RelationInterface, coerce_tuple
 from .core.reference import ReferenceRelation
 from .core.relation import Relation
@@ -54,6 +63,8 @@ from .core.tuples import Tuple
 from .decomposition.model import Decomposition
 from .decomposition.parser import parse_decomposition
 from .decomposition.relation import DecomposedRelation
+from .faults import FAULTS, register_site
+from .structures.registry import structure_names
 
 __all__ = [
     "LiveRelation",
@@ -63,6 +74,21 @@ __all__ = [
     "default_layout",
     "open_relation",
 ]
+
+# Fault-injection sites of the re-tune / migration pipeline (see
+# :mod:`repro.faults`): each names one stage at which the self-healing loop
+# must fail *cleanly* — abort the attempt, keep the old backing serving,
+# quarantine the failed layout.
+for _site in (
+    "live.retune.tune",
+    "live.retune.compile",
+    "live.retune.verify",
+    "live.migrate.copy",
+    "live.migrate.dual_write",
+    "live.swap",
+):
+    register_site(_site)
+del _site
 
 #: The operation kinds a sampler key distinguishes (insert keys carry no
 #: pattern — every insert binds the full column set).
@@ -231,9 +257,36 @@ class RetunePolicy:
             enumerate + reinsert pass.
         migrate_batch: rows copied per subsequent operation while a
             dual-write window is open.
+        background: run the autotuner search on a daemon thread instead of
+            blocking the triggering operation; the winner is compiled and
+            migrated on the caller's thread once the search completes (the
+            swap itself never happens off-thread).
+        retune_timeout: watchdog limit, in seconds, on a background tune.
+            A search still running past this deadline is abandoned — its
+            eventual result is discarded — and counted as a failure.
+        max_failures: consecutive re-tune failures after which the circuit
+            breaker opens: no further re-tunes run until
+            :meth:`LiveRelation.reset_circuit`.
+        backoff_factor: exponential backoff base — after the *k*-th
+            consecutive failure the next automatic re-tune waits at least
+            ``min_ops * backoff_factor ** k`` operations.
+        quarantine: remember the layouts whose compile/migrate/verify
+            failed and never pick them as a re-tune winner again (the best
+            non-quarantined candidate wins instead).
     """
 
-    __slots__ = ("auto", "min_ops", "drift_threshold", "dual_write_threshold", "migrate_batch")
+    __slots__ = (
+        "auto",
+        "min_ops",
+        "drift_threshold",
+        "dual_write_threshold",
+        "migrate_batch",
+        "background",
+        "retune_timeout",
+        "max_failures",
+        "backoff_factor",
+        "quarantine",
+    )
 
     def __init__(
         self,
@@ -242,16 +295,32 @@ class RetunePolicy:
         drift_threshold: float = 0.3,
         dual_write_threshold: int = 100_000,
         migrate_batch: int = 64,
+        background: bool = False,
+        retune_timeout: float = 30.0,
+        max_failures: int = 3,
+        backoff_factor: float = 2.0,
+        quarantine: bool = True,
     ):
         if min_ops < 1 or migrate_batch < 1:
             raise LiveRelationError("min_ops and migrate_batch must be >= 1")
         if not 0.0 < drift_threshold:
             raise LiveRelationError("drift_threshold must be positive")
+        if not retune_timeout > 0.0:
+            raise LiveRelationError("retune_timeout must be positive")
+        if max_failures < 1:
+            raise LiveRelationError("max_failures must be >= 1")
+        if backoff_factor < 1.0:
+            raise LiveRelationError("backoff_factor must be >= 1.0")
         self.auto = auto
         self.min_ops = min_ops
         self.drift_threshold = drift_threshold
         self.dual_write_threshold = dual_write_threshold
         self.migrate_batch = migrate_batch
+        self.background = background
+        self.retune_timeout = retune_timeout
+        self.max_failures = max_failures
+        self.backoff_factor = backoff_factor
+        self.quarantine = quarantine
 
     @classmethod
     def coerce(cls, value: Union["RetunePolicy", Mapping, None]) -> "RetunePolicy":
@@ -286,6 +355,8 @@ class RetuneReport:
         "dual_write",
         "generation",
         "tuning",
+        "error",
+        "pending",
     )
 
     def __init__(
@@ -305,8 +376,16 @@ class RetuneReport:
         self.dual_write = False
         self.generation: Optional[int] = None
         self.tuning: Optional[TuningResult] = None
+        #: Failure description when the attempt died (``None`` on success).
+        self.error: Optional[str] = None
+        #: ``True`` while a background tune for this report is in flight.
+        self.pending = False
 
     def describe(self) -> str:
+        if self.error is not None:
+            return f"retune @op {self.op_index} ({self.reason}): failed — {self.error}"
+        if self.pending:
+            return f"retune @op {self.op_index} ({self.reason}): tuning in background"
         outcome = (
             f"swapped to {self.new_layout!r} ({self.migrated} row(s) migrated"
             + (", dual-write window)" if self.dual_write else ")")
@@ -382,6 +461,18 @@ class LiveRelation(RelationInterface):
         self._backing = backing
         self._ops_since_tune = 0
         self._migration: Optional[_Migration] = None
+        # -- self-healing bookkeeping (see "Failure semantics" in README) --
+        self._failures = 0
+        self._consecutive_failures = 0
+        #: canonical shape -> layout description of every layout whose
+        #: compile / migrate / verify failed; quarantined shapes are never
+        #: picked as a re-tune winner again (policy.quarantine).
+        self._quarantined: Dict[PyTuple, str] = {}
+        self._backoff_ops = 0
+        self._last_error: Optional[str] = None
+        #: In-flight background tune: {"state", "started", "thread",
+        #: "report", "current", "dual_write", "tuning", "error"}.
+        self._tune_box: Optional[Dict[str, object]] = None
 
     # -- backing introspection ---------------------------------------------------
 
@@ -420,24 +511,56 @@ class LiveRelation(RelationInterface):
             "backing": type(self._backing).__name__,
             "layout": self.backing_layout(),
             "sampler": self.sampler.stats(),
+            "failures": self._failures,
+            "consecutive_failures": self._consecutive_failures,
+            "circuit_open": self.circuit_open,
+            "quarantined": sorted(self._quarantined.values()),
+            "backoff_ops": self._backoff_ops,
+            "last_error": self._last_error,
+            "retune_pending": self._tune_box is not None,
         }
+
+    @property
+    def circuit_open(self) -> bool:
+        """``True`` once ``max_failures`` consecutive re-tunes failed.
+
+        While open, no re-tune runs — automatic or explicit — until
+        :meth:`reset_circuit`; the relation keeps serving on its current
+        backing indefinitely (degraded layout beats a crash loop).
+        """
+        return self._consecutive_failures >= self.policy.max_failures
+
+    def reset_circuit(self, clear_quarantine: bool = False) -> None:
+        """Re-enable re-tuning after the circuit breaker opened.
+
+        Clears the consecutive-failure count, the backoff and the recorded
+        last error; ``clear_quarantine=True`` also forgets the quarantined
+        layouts (e.g. after fixing whatever made them fail).
+        """
+        self._consecutive_failures = 0
+        self._backoff_ops = 0
+        self._last_error = None
+        if clear_quarantine:
+            self._quarantined.clear()
 
     # -- the five operations (forward, then sample) ------------------------------
 
     def insert(self, tup: Union[Tuple, Mapping]) -> None:
         tup = coerce_tuple(tup)
         self._backing.insert(tup)
-        if self._migration is not None:
-            self._migration.target.insert(tup)
+        migration = self._migration
+        if migration is not None:
+            self._apply_dual_write(migration, lambda: migration.target.insert(tup))
         self._observe(("insert", tup))
 
     def remove(self, pattern: Union[Tuple, Mapping, None] = None) -> None:
         pattern = coerce_tuple(pattern)
         self._backing.remove(pattern)
-        if self._migration is not None:
+        migration = self._migration
+        if migration is not None:
             # Rows already copied are removed here; still-pending rows are
             # revalidated against the old backing at copy time and skipped.
-            self._migration.target.remove(pattern)
+            self._apply_dual_write(migration, lambda: migration.target.remove(pattern))
         self._observe(("remove", pattern))
 
     def update(self, pattern: Union[Tuple, Mapping], changes: Union[Tuple, Mapping]) -> None:
@@ -454,10 +577,36 @@ class LiveRelation(RelationInterface):
             victims = self._backing.query(pattern, None)
         self._backing.update(pattern, changes)
         if migration is not None:
-            migration.target.update(pattern, changes)
-            for victim in victims:
-                migration.pending.append(victim.merge(changes))
+
+            def _mirror() -> None:
+                migration.target.update(pattern, changes)
+                for victim in victims:
+                    migration.pending.append(victim.merge(changes))
+
+            self._apply_dual_write(migration, _mirror)
         self._observe(("update", pattern, changes))
+
+    def _apply_dual_write(self, migration: "_Migration", action) -> None:
+        """Mirror one mutation into the dual-write target.
+
+        The primary backing has already applied the mutation, so a failing
+        target write **aborts the migration window** (the half-built target
+        is discarded, the failed layout quarantined) and returns without
+        raising: the caller's operation landed in exactly one consistent
+        backing — the old one, which keeps serving.
+        """
+        try:
+            if FAULTS.active:
+                FAULTS.check("live.migrate.dual_write")
+            action()
+        except ReproError as exc:
+            failure = MigrationError(
+                f"dual-write into migration target "
+                f"{migration.report.new_layout!r} failed: {exc}",
+                stage="dual-write",
+            )
+            failure.__cause__ = exc
+            self._abort_migration(failure)
 
     def query(
         self,
@@ -472,11 +621,23 @@ class LiveRelation(RelationInterface):
         return results
 
     def _observe(self, op: Operation) -> None:
-        """Sample one completed operation, then advance the control loop."""
+        """Sample one completed operation, then advance the control loop.
+
+        Never raises on behalf of the control loop: the caller's operation
+        already succeeded on the primary backing, so a failed migration
+        pump or background-tune completion is recorded (and the attempt
+        aborted) rather than surfaced through an unrelated ``insert``.
+        """
         self._ops_since_tune += 1
         self.sampler.observe(op)
         if self._migration is not None:
-            self._pump_migration()
+            try:
+                self._pump_migration()
+            except MigrationError:
+                # Aborted and recorded; the old backing keeps serving.
+                pass
+        elif self._tune_box is not None:
+            self._poll_background_tune()
         elif self.policy.auto:
             self.maybe_retune()
 
@@ -486,11 +647,18 @@ class LiveRelation(RelationInterface):
         """Re-tune if the policy says so; the cheap steady-state check.
 
         Returns the report when a re-tune ran (whether or not it swapped),
-        ``None`` otherwise.  Never fires while a dual-write window is open.
+        ``None`` otherwise.  Never fires while a dual-write window or a
+        background tune is open, while the circuit breaker is open, or
+        before the post-failure backoff has elapsed.  A re-tune failure on
+        this (automatic) path is recorded in the report and ``live_stats()``
+        but not raised — the operation that triggered the check already
+        succeeded, and the old backing keeps serving.
         """
-        if self._migration is not None:
+        if self._migration is not None or self._tune_box is not None:
             return None
-        if self._ops_since_tune < self.policy.min_ops:
+        if self.circuit_open:
+            return None
+        if self._ops_since_tune < max(self.policy.min_ops, self._backoff_ops):
             return None
         drift = self.sampler.drift()
         if drift < self.policy.drift_threshold:
@@ -500,7 +668,12 @@ class LiveRelation(RelationInterface):
             if math.isinf(drift)
             else f"mix drift {drift:.2f} >= threshold {self.policy.drift_threshold:.2f}"
         )
-        return self.retune(reason=reason, drift=None if math.isinf(drift) else drift)
+        try:
+            return self.retune(reason=reason, drift=None if math.isinf(drift) else drift)
+        except LiveRelationError:
+            # Recorded by the failure bookkeeping (backoff / quarantine /
+            # circuit breaker); self-heal instead of failing the caller.
+            return self.retunes[-1] if self.retunes else None
 
     def _retune_trace(self) -> Trace:
         """Synthesize the tuning workload: current contents + sampled tail.
@@ -539,34 +712,130 @@ class LiveRelation(RelationInterface):
 
         Deterministic by construction for seeded workloads: the sampler's
         RNG is seeded and the autotuner's replay is exact.
+
+        Failure semantics: any stage can fail (including by an injected
+        fault) and the relation survives — the old backing is untouched and
+        keeps serving, the failed layout is quarantined, the failure is
+        recorded for backoff / circuit-breaker bookkeeping, and the error
+        (:class:`RetuneFailed` or :class:`MigrationError`) propagates to
+        *this explicit caller*.  Automatic re-tunes (:meth:`maybe_retune`)
+        swallow it.
+
+        With ``policy.background=True`` the autotuner search runs on a
+        daemon thread and this returns immediately with a ``pending``
+        report; the compile/migrate/swap happens on the thread of a later
+        operation (or :meth:`finish_retune`) once the search completes.
         """
         if self._migration is not None:
             raise LiveRelationError(
                 "cannot re-tune while a dual-write migration window is open "
                 "(call finish_migration() first)"
             )
+        if self._tune_box is not None:
+            raise LiveRelationError(
+                "cannot re-tune while a background tune is in flight "
+                "(call finish_retune() first)"
+            )
+        if self.circuit_open:
+            raise RetuneFailed(
+                f"circuit breaker open after {self._consecutive_failures} "
+                f"consecutive re-tune failures "
+                f"(max_failures={self.policy.max_failures}); last error: "
+                f"{self._last_error}; call reset_circuit() to re-enable",
+                stage="circuit",
+            )
         report = RetuneReport(
             self.sampler.seen, reason, drift, self.backing_layout()
         )
         self.retunes.append(report)
         current = self.backing_decomposition()
+        if self.policy.background:
+            return self._start_background_tune(report, current, dual_write)
+        tuning = self._run_tune(report, current)
+        return self._finish_retune(report, current, tuning, dual_write)
+
+    def _run_tune(self, report: RetuneReport, current: Optional[Decomposition]) -> TuningResult:
+        """The search stage: synthesize the trace and run the autotuner."""
         trace = self._retune_trace()
         include = [current] if current is not None else []
-        # Eviction-mode replay, matching the synthesized trace (see
-        # _retune_trace); the new backing itself runs in self.enforce_fds.
-        report.tuning = autotune(self.spec, trace, include=include, enforce_fds=False)
+        try:
+            if FAULTS.active:
+                FAULTS.check("live.retune.tune")
+            # Eviction-mode replay, matching the synthesized trace (see
+            # _retune_trace); the new backing itself runs in self.enforce_fds.
+            return autotune(self.spec, trace, include=include, enforce_fds=False)
+        except ReproError as exc:
+            failure = RetuneFailed(f"autotune search failed: {exc}", stage="tune")
+            failure.__cause__ = exc
+            self._record_failure(report, failure)
+            raise failure from exc
+
+    def _pick_winner(
+        self, tuning: TuningResult, current: Optional[Decomposition]
+    ) -> Optional[ScoredCandidate]:
+        """The best replayed candidate whose shape is not quarantined.
+
+        The current layout always qualifies (it is serving right now), so
+        when every better candidate is quarantined the re-tune resolves to
+        "keep".  ``None`` only when *everything* replayed is quarantined
+        and the current shape is not among the candidates.
+        """
+        current_shape = canonical_shape(current) if current is not None else None
+        quarantine = self.policy.quarantine
+        for candidate in tuning.replayed:
+            shape = canonical_shape(candidate.decomposition)
+            if shape == current_shape:
+                return candidate
+            if quarantine and shape in self._quarantined:
+                continue
+            return candidate
+        return None
+
+    def _finish_retune(
+        self,
+        report: RetuneReport,
+        current: Optional[Decomposition],
+        tuning: TuningResult,
+        dual_write: Optional[bool] = None,
+    ) -> RetuneReport:
+        """Compile + migrate stage, shared by sync and background re-tunes."""
+        report.tuning = tuning
         # The tune consumed this window: future drift is measured against it.
         self.sampler.rebase()
         self._ops_since_tune = 0
 
-        winner = report.tuning.winner_decomposition
-        report.new_layout = winner.describe()
-        if current is not None and canonical_shape(winner) == canonical_shape(current):
+        winner = self._pick_winner(tuning, current)
+        if winner is None:
+            # Everything the search surfaced has failed before: keep serving.
             report.new_layout = report.old_layout
+            self._consecutive_failures = 0
+            self._backoff_ops = 0
+            return report
+        if winner is not tuning.winner:
+            # Quarantine displaced the access-count winner; compile_winner()
+            # compiles `.winner`, so promote the chosen candidate.
+            tuning.winner = winner
+        report.new_layout = winner.decomposition.describe()
+        if current is not None and canonical_shape(winner.decomposition) == canonical_shape(current):
+            report.new_layout = report.old_layout
+            self._consecutive_failures = 0
+            self._backoff_ops = 0
             return report
 
-        new_cls = report.tuning.compile_winner()
-        new_backing = new_cls(enforce_fds=self.enforce_fds)
+        try:
+            if FAULTS.active:
+                FAULTS.check("live.retune.compile")
+            new_cls = tuning.compile_winner()
+            new_backing = new_cls(enforce_fds=self.enforce_fds)
+        except ReproError as exc:
+            failure = RetuneFailed(
+                f"compiling winner {report.new_layout!r} failed: {exc}",
+                stage="compile",
+            )
+            failure.__cause__ = exc
+            self._record_failure(report, failure, canonical_shape(winner.decomposition))
+            raise failure from exc
+
         if dual_write is None:
             dual_write = len(self._backing) >= self.policy.dual_write_threshold
         if dual_write:
@@ -582,12 +851,132 @@ class LiveRelation(RelationInterface):
             self._migrate_sync(new_backing, report)
         return report
 
+    # -- background re-tune (search off-thread, swap on-thread) ------------------
+
+    def _start_background_tune(
+        self,
+        report: RetuneReport,
+        current: Optional[Decomposition],
+        dual_write: Optional[bool],
+    ) -> RetuneReport:
+        """Launch the autotuner search on a daemon thread.
+
+        The trace is snapshotted on the caller's thread (so the search sees
+        a consistent state); only the pure search runs concurrently.  The
+        result is collected — and the migration run — on the thread of a
+        later operation via :meth:`_poll_background_tune`, or explicitly by
+        :meth:`finish_retune`; a search that outlives
+        ``policy.retune_timeout`` is abandoned by the watchdog.
+        """
+        trace = self._retune_trace()
+        include = [current] if current is not None else []
+        box: Dict[str, object] = {
+            "state": "running",
+            "started": time.monotonic(),
+            "report": report,
+            "current": current,
+            "dual_write": dual_write,
+            "tuning": None,
+            "error": None,
+        }
+
+        def worker() -> None:
+            try:
+                if FAULTS.active:
+                    FAULTS.check("live.retune.tune")
+                box["tuning"] = autotune(
+                    self.spec, trace, include=include, enforce_fds=False
+                )
+                box["state"] = "done"
+            except BaseException as exc:  # surfaced on the caller's thread
+                box["error"] = exc
+                box["state"] = "failed"
+
+        thread = threading.Thread(
+            target=worker, name=f"{self.name}-retune-gen{self.generation}", daemon=True
+        )
+        box["thread"] = thread
+        self._tune_box = box
+        report.pending = True
+        thread.start()
+        return report
+
+    def _poll_background_tune(self) -> Optional[RetuneReport]:
+        """Collect a finished (or overdue) background tune; apply its result."""
+        box = self._tune_box
+        if box is None:
+            return None
+        report = box["report"]
+        state = box["state"]
+        if state == "running":
+            if time.monotonic() - box["started"] <= self.policy.retune_timeout:
+                return None
+            # Watchdog: abandon the straggler.  The daemon thread keeps
+            # running but its box is unlinked, so its eventual result (or
+            # error) is discarded without touching the relation.
+            self._tune_box = None
+            report.pending = False
+            failure = RetuneFailed(
+                f"background tune exceeded retune_timeout="
+                f"{self.policy.retune_timeout}s; abandoned by the watchdog",
+                stage="tune",
+            )
+            self._record_failure(report, failure)
+            return report
+        self._tune_box = None
+        report.pending = False
+        if state == "failed":
+            exc = box["error"]
+            failure = RetuneFailed(f"background autotune search failed: {exc}", stage="tune")
+            failure.__cause__ = exc
+            self._record_failure(report, failure)
+            return report
+        try:
+            return self._finish_retune(
+                report, box["current"], box["tuning"], box["dual_write"]
+            )
+        except LiveRelationError:
+            # Recorded; the triggering operation already succeeded on the
+            # old backing, which keeps serving.
+            return report
+
+    def finish_retune(self, timeout: Optional[float] = None) -> Optional[RetuneReport]:
+        """Wait for an in-flight background tune and apply its result.
+
+        Joins the search thread for up to *timeout* seconds (default: the
+        policy's ``retune_timeout``), then collects whatever state the tune
+        reached — including the watchdog's abandon when it is overdue.
+        Returns the report, or ``None`` when no background tune is open.
+        """
+        box = self._tune_box
+        if box is None:
+            return None
+        box["thread"].join(timeout if timeout is not None else self.policy.retune_timeout)
+        return self._poll_background_tune()
+
+    # -- migration ---------------------------------------------------------------
+
     def _migrate_sync(self, new_backing: RelationInterface, report: RetuneReport) -> None:
-        """One-pass α-migration: enumerate the old backing, reinsert, verify."""
+        """One-pass α-migration: enumerate the old backing, reinsert, verify.
+
+        The target is private until :meth:`_verify_and_swap` commits, so a
+        mid-copy failure simply discards it — nothing to roll back.
+        """
         snapshot = self._backing.to_relation()
-        for tup in sorted(snapshot.tuples, key=Tuple.sort_key):
-            new_backing.insert(tup)
-            report.migrated += 1
+        try:
+            for tup in sorted(snapshot.tuples, key=Tuple.sort_key):
+                if FAULTS.active:
+                    FAULTS.check("live.migrate.copy")
+                new_backing.insert(tup)
+                report.migrated += 1
+        except ReproError as exc:
+            failure = MigrationError(
+                f"copying rows into {report.new_layout!r} failed: {exc}",
+                stage="copy",
+            )
+            failure.__cause__ = exc
+            self._record_failure(report, failure, self._shape_of(new_backing))
+            raise failure from exc
         self._verify_and_swap(new_backing, snapshot, report)
 
     def _pump_migration(self) -> None:
@@ -596,25 +985,63 @@ class LiveRelation(RelationInterface):
         Each pending row is revalidated against the old backing — a row
         removed or updated since the window opened is skipped (its current
         form reached the target through dual-writing or re-enqueueing).
+
+        A failing copy aborts the window (target discarded, layout
+        quarantined) and raises :class:`MigrationError`; ``_observe``
+        catches it so user operations never fail on the control loop's
+        behalf.
         """
         migration = self._migration
         assert migration is not None
         pending = migration.pending
-        for _ in range(min(migration.batch, len(pending))):
-            row = pending.popleft()
-            if self._backing.contains(row):
-                migration.target.insert(row)
-                migration.report.migrated += 1
+        try:
+            for _ in range(min(migration.batch, len(pending))):
+                if FAULTS.active:
+                    FAULTS.check("live.migrate.copy")
+                row = pending.popleft()
+                if self._backing.contains(row):
+                    migration.target.insert(row)
+                    migration.report.migrated += 1
+        except ReproError as exc:
+            failure = MigrationError(
+                f"copying rows into {migration.report.new_layout!r} failed: {exc}",
+                stage="copy",
+            )
+            failure.__cause__ = exc
+            self._abort_migration(failure)
+            raise failure from exc
         if not pending:
             self._migration = None
             self._verify_and_swap(
                 migration.target, self._backing.to_relation(), migration.report
             )
 
+    def _abort_migration(self, failure: MigrationError) -> None:
+        """Tear down an open dual-write window after a failure.
+
+        Atomic from the caller's perspective: the target is discarded in
+        one assignment, the old backing was never touched, and the failed
+        target layout is quarantined.
+        """
+        migration = self._migration
+        self._migration = None
+        if migration is None:
+            return
+        self._record_failure(
+            migration.report, failure, self._shape_of(migration.target)
+        )
+
     def finish_migration(self) -> None:
-        """Drain any open dual-write window synchronously."""
+        """Drain any open dual-write window synchronously.
+
+        If the window aborts mid-drain the loop simply ends — the abort
+        clears the window — with the failure recorded in ``live_stats()``.
+        """
         while self._migration is not None:
-            self._pump_migration()
+            try:
+                self._pump_migration()
+            except MigrationError:
+                break  # aborted and recorded; old backing keeps serving
 
     def _verify_and_swap(
         self,
@@ -622,21 +1049,81 @@ class LiveRelation(RelationInterface):
         expected: Relation,
         report: RetuneReport,
     ) -> None:
-        """The α-equivalence gate, then the atomic swap."""
-        check = getattr(new_backing, "check_well_formed", None)
-        if check is not None:
-            check()
-        migrated = new_backing.to_relation()
-        if migrated != expected:
-            raise LiveRelationError(
-                f"α-migration to {report.new_layout!r} diverged: the new backing "
-                f"represents {len(migrated.tuples ^ expected.tuples)} differing "
-                f"tuple(s) — refusing to swap"
-            )
+        """The α-equivalence gate, then the atomic swap.
+
+        Any failure up to the final assignment aborts the migration: the
+        old backing is untouched and keeps serving, and the failed layout
+        is quarantined.  The swap itself is a single attribute write —
+        atomic under the GIL — with nothing left to raise after it.
+        """
+        try:
+            if FAULTS.active:
+                FAULTS.check("live.retune.verify")
+            check = getattr(new_backing, "check_well_formed", None)
+            if check is not None:
+                check()
+            migrated = new_backing.to_relation()
+            if migrated != expected:
+                raise MigrationError(
+                    f"α-migration to {report.new_layout!r} diverged: the new backing "
+                    f"represents {len(migrated.tuples ^ expected.tuples)} differing "
+                    f"tuple(s) — refusing to swap",
+                    stage="verify",
+                )
+            if FAULTS.active:
+                FAULTS.check("live.swap")
+        except ReproError as exc:
+            if isinstance(exc, MigrationError):
+                failure = exc
+            else:
+                stage = (
+                    "swap"
+                    if isinstance(exc, FaultInjected) and exc.site == "live.swap"
+                    else "verify"
+                )
+                failure = MigrationError(
+                    f"α-verification of {report.new_layout!r} failed: {exc}",
+                    stage=stage,
+                )
+                failure.__cause__ = exc
+            self._record_failure(report, failure, self._shape_of(new_backing))
+            raise failure from exc
         self._backing = new_backing
         self.generation += 1
         report.swapped = True
         report.generation = self.generation
+        self._consecutive_failures = 0
+        self._backoff_ops = 0
+
+    # -- failure bookkeeping -----------------------------------------------------
+
+    def _shape_of(self, backing: RelationInterface) -> Optional[PyTuple]:
+        decomposition = getattr(backing, "decomposition", None)
+        if decomposition is None:
+            decomposition = getattr(type(backing), "DECOMPOSITION", None)
+        return canonical_shape(decomposition) if decomposition is not None else None
+
+    def _record_failure(
+        self,
+        report: RetuneReport,
+        failure: LiveRelationError,
+        shape: Optional[PyTuple] = None,
+    ) -> None:
+        """One failed re-tune / migration attempt: count, quarantine, back off."""
+        self._failures += 1
+        self._consecutive_failures += 1
+        stage = getattr(failure, "stage", "unknown")
+        self._last_error = f"{type(failure).__name__}[{stage}]: {failure}"
+        report.error = self._last_error
+        if shape is not None and self.policy.quarantine:
+            self._quarantined[shape] = report.new_layout or "<uncompiled>"
+        # Exponential backoff: the k-th consecutive failure pushes the next
+        # automatic attempt to min_ops * backoff_factor**k operations out.
+        self._backoff_ops = int(
+            self.policy.min_ops
+            * (self.policy.backoff_factor ** self._consecutive_failures)
+        )
+        self._ops_since_tune = 0
 
     # -- inspection (forwarded, never sampled) -----------------------------------
 
@@ -719,25 +1206,39 @@ def open_relation(
     always-on sampled, self-re-tuning facade governed by ``policy`` (a
     :class:`RetunePolicy` or a mapping of its fields) and ``sampler``.
     """
-    if tier not in TIERS:
-        raise LiveRelationError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    if not isinstance(tier, str) or tier not in TIERS:
+        raise LiveRelationError(
+            f"unknown tier {tier!r}; valid tiers: {', '.join(TIERS)}"
+        )
     if tune is not None and sizes is not None:
         raise LiveRelationError(
             "sizes cannot be combined with tune: the autotuned winner is "
             "compiled against its own trace-derived size estimates"
         )
+    if layout is not None and not isinstance(layout, (str, Decomposition)):
+        raise LiveRelationError(
+            f"layout must be a Decomposition or a layout string like "
+            f"'ns, pid -> htable {{state, cpu}}'; got {type(layout).__name__}"
+        )
 
     decomposition: Optional[Decomposition] = None
     tuning: Optional[TuningResult] = None
+    if isinstance(layout, str):
+        try:
+            layout = parse_decomposition(layout)
+        except ReproError as exc:
+            # Re-raise with the valid structure vocabulary attached: a typo'd
+            # container name is the common mistake at this entry point.
+            raise LiveRelationError(
+                f"invalid layout {layout!r}: {exc} "
+                f"(valid structures: {', '.join(structure_names())})"
+            ) from exc
     if tune is not None:
         include = [layout] if layout is not None else []
         tuning = autotune(spec, tune, include=include, enforce_fds=enforce_fds)
         decomposition = tuning.winner_decomposition
     elif layout is not None:
-        if isinstance(layout, str):
-            decomposition = parse_decomposition(layout)
-        else:
-            decomposition = layout
+        decomposition = layout
 
     backing: RelationInterface
     if tier == "reference":

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Tuple as PyTuple
 
 from ..core.tuples import Tuple
+from ..faults import FAULTS
 from .base import COUNTER, MISSING, AssociativeContainer, log2_cost
 
 __all__ = ["AVLTreeMap"]
@@ -103,6 +104,8 @@ class AVLTreeMap(AssociativeContainer):
     # -- interface ---------------------------------------------------------------
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.avl.insert")
         COUNTER.count_insert()
         self._root = self._insert(self._root, key, key.sort_key(), value)
 
@@ -122,6 +125,8 @@ class AVLTreeMap(AssociativeContainer):
         return _rebalance(node)
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.avl.lookup")
         COUNTER.count_lookup()
         sort_key = key.sort_key()
         node = self._root
@@ -136,6 +141,8 @@ class AVLTreeMap(AssociativeContainer):
         return MISSING
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.avl.remove")
         COUNTER.count_removal()
         before = self._size
         self._root = self._remove(self._root, key, key.sort_key())

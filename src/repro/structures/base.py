@@ -148,6 +148,13 @@ class AssociativeContainer(abc.ABC):
     #: linking a known-new entry and unlinking a held entry cost 1.
     #: Structures registered by users default to ``"hash"``.
     CODEGEN_STRATEGY: str = "hash"
+    #: The operations instrumented with :mod:`repro.faults` checks.  The
+    #: registry registers one named injection site per entry
+    #: (``structures.<NAME>.<op>``) when the class is registered, so the
+    #: chaos suite's sweep surface tracks the container library
+    #: automatically.  Subclasses that instrument extra operations
+    #: (``insert_unique``, ``remove_value``) extend this tuple.
+    FAULT_OPS: "PyTuple[str, ...]" = ("insert", "lookup", "remove")
 
     # -- cost model --------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional, Tuple as PyTuple
 
 from ..core.tuples import Tuple
+from ..faults import FAULTS
 from .base import COUNTER, MISSING, AssociativeContainer
 
 __all__ = ["DListMap", "IntrusiveListMap"]
@@ -40,6 +41,7 @@ class DListMap(AssociativeContainer):
     ORDERED = False
     INTRUSIVE = False
     CODEGEN_STRATEGY = "list"
+    FAULT_OPS = ("insert", "insert_unique", "lookup", "remove")
 
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None
@@ -86,6 +88,8 @@ class DListMap(AssociativeContainer):
     # -- interface ------------------------------------------------------------------
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.dlist.insert")
         COUNTER.count_insert()
         existing = self._find(key)
         if existing is not None:
@@ -101,17 +105,23 @@ class DListMap(AssociativeContainer):
         key is proven fresh (the shared-node registry's case), and what
         keeps the interpreted tier's access counts comparable to the
         compiled lowering, which links new shared cells in O(1)."""
+        if FAULTS.active:
+            FAULTS.check("structures.dlist.insert_unique")
         COUNTER.count_insert()
         COUNTER.count_allocation()
         COUNTER.count_access()
         self._link_back(_ListNode(key, value))
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.dlist.lookup")
         COUNTER.count_lookup()
         node = self._find(key)
         return MISSING if node is None else node.value
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.dlist.remove")
         COUNTER.count_removal()
         node = self._find(key)
         if node is None:
@@ -147,6 +157,7 @@ class IntrusiveListMap(AssociativeContainer):
     ORDERED = False
     INTRUSIVE = True
     CODEGEN_STRATEGY = "intrusive"
+    FAULT_OPS = ("insert", "insert_unique", "lookup", "remove", "remove_value")
 
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None
@@ -235,6 +246,8 @@ class IntrusiveListMap(AssociativeContainer):
     # -- interface ---------------------------------------------------------------------
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.ilist.insert")
         COUNTER.count_insert()
         existing = self._find(key)
         if existing is not None:
@@ -253,6 +266,8 @@ class IntrusiveListMap(AssociativeContainer):
         No search for an existing entry — the intrusive counterpart of
         ``push_back``; decomposition instances call this when the shared
         registry proves the binding is fresh."""
+        if FAULTS.active:
+            FAULTS.check("structures.ilist.insert_unique")
         COUNTER.count_insert()
         COUNTER.count_allocation()
         COUNTER.count_access()
@@ -261,11 +276,15 @@ class IntrusiveListMap(AssociativeContainer):
         self._store_link(value, node)
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.ilist.lookup")
         COUNTER.count_lookup()
         node = self._find(key)
         return MISSING if node is None else node.value
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.ilist.remove")
         COUNTER.count_removal()
         node = self._find(key)
         if node is None:
@@ -276,6 +295,8 @@ class IntrusiveListMap(AssociativeContainer):
 
     def remove_value(self, key: Tuple, value: Any) -> bool:
         """Constant-time unlink given the stored value."""
+        if FAULTS.active:
+            FAULTS.check("structures.ilist.remove_value")
         COUNTER.count_removal()
         node = self._load_link(value)
         if node is None or (node.prev is None and node.next is None and self._head is not node):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple as PyTuple
 
 from ..core.tuples import Tuple
+from ..faults import FAULTS
 from .base import COUNTER, MISSING, AssociativeContainer
 
 __all__ = ["HashTableMap"]
@@ -86,6 +87,8 @@ class HashTableMap(AssociativeContainer):
     # -- interface -------------------------------------------------------------------
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.htable.insert")
         COUNTER.count_insert()
         existing = self._find(key)
         if existing is not None:
@@ -101,11 +104,15 @@ class HashTableMap(AssociativeContainer):
         self._maybe_resize()
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.htable.lookup")
         COUNTER.count_lookup()
         entry = self._find(key)
         return MISSING if entry is None else entry.value
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.htable.remove")
         COUNTER.count_removal()
         hash_value = hash(key)
         index = self._bucket_index(hash_value)

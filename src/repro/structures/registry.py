@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Type
 
 from ..core.errors import DecompositionError
+from ..faults import register_site
 from .avltree import AVLTreeMap
 from .base import AssociativeContainer
 from .dlist import DListMap, IntrusiveListMap
@@ -56,6 +57,11 @@ def register_structure(cls: Type[AssociativeContainer]) -> Type[AssociativeConta
             f"container name {name!r} already registered as an alias for {alias_target!r}"
         )
     STRUCTURE_REGISTRY[name] = cls
+    # Thread the fault-injection surface through the registry: one named
+    # site per instrumented container operation, so user-registered
+    # structures join the chaos suite's sweep with no further wiring.
+    for op in cls.FAULT_OPS:
+        register_site(f"structures.{name}.{op}")
     return cls
 
 

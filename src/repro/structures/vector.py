@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple as PyTuple
 
 from ..core.tuples import Tuple
+from ..faults import FAULTS
 from .base import COUNTER, MISSING, AssociativeContainer
 
 __all__ = ["VectorMap", "IndexedVectorMap"]
@@ -29,6 +30,7 @@ class VectorMap(AssociativeContainer):
     ORDERED = False
     INTRUSIVE = False
     CODEGEN_STRATEGY = "list"
+    FAULT_OPS = ("insert", "insert_unique", "lookup", "remove")
 
     def __init__(self) -> None:
         self._entries: List[Optional[PyTuple[Tuple, Any]]] = []
@@ -50,6 +52,8 @@ class VectorMap(AssociativeContainer):
         return -1
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.vector.insert")
         COUNTER.count_insert()
         index = self._find_index(key)
         if index >= 0:
@@ -63,6 +67,8 @@ class VectorMap(AssociativeContainer):
         """Constant-time append of a key the caller guarantees is new (no
         duplicate scan) — used by shared-node registries, and what keeps
         interpreted access counts comparable to the compiled lowering."""
+        if FAULTS.active:
+            FAULTS.check("structures.vector.insert_unique")
         COUNTER.count_insert()
         COUNTER.count_allocation()
         COUNTER.count_access()
@@ -70,11 +76,15 @@ class VectorMap(AssociativeContainer):
         self._size += 1
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.vector.lookup")
         COUNTER.count_lookup()
         index = self._find_index(key)
         return MISSING if index < 0 else self._entries[index][1]  # type: ignore[index]
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.vector.remove")
         COUNTER.count_removal()
         index = self._find_index(key)
         if index < 0:
@@ -140,6 +150,8 @@ class IndexedVectorMap(AssociativeContainer):
             self._dense_keys.append(None)
 
     def insert(self, key: Tuple, value: Any) -> None:
+        if FAULTS.active:
+            FAULTS.check("structures.ivector.insert")
         COUNTER.count_insert()
         index = self._dense_index(key)
         if index is None:
@@ -157,6 +169,8 @@ class IndexedVectorMap(AssociativeContainer):
         self._dense_keys[index] = key
 
     def lookup(self, key: Tuple) -> Any:
+        if FAULTS.active:
+            FAULTS.check("structures.ivector.lookup")
         COUNTER.count_lookup()
         index = self._dense_index(key)
         if index is None:
@@ -168,6 +182,8 @@ class IndexedVectorMap(AssociativeContainer):
         return self._dense[index]
 
     def remove(self, key: Tuple) -> bool:
+        if FAULTS.active:
+            FAULTS.check("structures.ivector.remove")
         COUNTER.count_removal()
         index = self._dense_index(key)
         if index is None:

@@ -84,6 +84,35 @@ def test_timing_inversion_is_fatal_in_default_mode():
     assert warnings == []
 
 
+def test_strict_accesses_fails_on_any_increase():
+    # The chaos job's zero-overhead gate: disabled fault hooks and undo-log
+    # bookkeeping must not add a single counted access, even well inside
+    # the 2x headroom of the default gate.
+    baseline = report()
+    current = report(accesses=1002)
+    failures, warnings = compare(current, baseline)
+    assert failures == []  # within 2x: the default gate passes...
+    failures, warnings = compare(current, baseline, strict_accesses=True)
+    assert any("strict gate" in f and "+2" in f for f in failures)
+    assert warnings == []
+
+
+def test_strict_accesses_covers_the_autotuned_section():
+    baseline = report()
+    current = report(autotuned=401)
+    failures, _ = compare(current, baseline, strict_accesses=True)
+    assert any("autotuned" in f and "strict gate" in f for f in failures)
+
+
+def test_strict_accesses_passes_on_identical_and_improved_counts():
+    baseline = report()
+    failures, warnings = compare(copy.deepcopy(baseline), baseline, strict_accesses=True)
+    assert failures == [] and warnings == []
+    improved = report(accesses=900, autotuned=300)
+    failures, warnings = compare(improved, baseline, strict_accesses=True)
+    assert failures == [] and warnings == []
+
+
 def test_missing_workload_and_tier_are_fatal():
     baseline = report()
     current = copy.deepcopy(baseline)
