@@ -25,7 +25,7 @@ __all__ = [
 ]
 
 #: ("insert", tuple) | ("remove", pattern) | ("update", pattern, changes)
-#: | ("query", pattern, output-or-None)
+#: | ("query", pattern, output-or-None) | ("range", column, lo, hi)
 Operation = PyTuple
 
 
@@ -376,6 +376,63 @@ def graph_drift(scale: int) -> Workload:
     )
 
 
+def ordered_scan(scale: int) -> Workload:
+    """A time-series event log scanned by timestamp range.
+
+    Events keyed by timestamp with an ordered (``avl``) root index; the
+    trace mixes out-of-order arrival, timestamp range scans (the ``range``
+    operation — an ordered window over ``ts``), point queries, reading
+    updates (residual-only: the in-place batch path) and late deletions.
+    The ordered root serves every window by bounded descent where the
+    hash-rooted alternative filters a full scan — the first workload that
+    actually exercises ``avl`` range iteration.
+    """
+    spec = RelationSpec(
+        "ts, sensor, reading",
+        fds=["ts -> sensor, reading"],
+        name="event",
+    )
+    layout = "ts -> btree {sensor, reading}"
+    rng = random.Random(0x5EED7)
+    span = max(64, scale * 4)
+    stamps = list(range(span))
+    rng.shuffle(stamps)  # Out-of-order arrival: the tree must rebalance.
+    sensors = ["temp", "flow", "volt"]
+    trace: List[Operation] = [
+        ("insert", Tuple(ts=ts, sensor=rng.choice(sensors), reading=rng.randrange(1000)))
+        for ts in stamps
+    ]
+    for _ in range(scale * 6):
+        roll = rng.random()
+        ts = rng.randrange(span)
+        if roll < 0.4:  # The hot operation: a timestamp window.
+            width = rng.randrange(1, max(2, span // 8))
+            trace.append(("range", "ts", ts, min(span - 1, ts + width)))
+        elif roll < 0.6:
+            trace.append(("query", Tuple(ts=ts), "sensor, reading"))
+        elif roll < 0.85:
+            trace.append(("update", Tuple(ts=ts), Tuple(reading=rng.randrange(1000))))
+        else:  # Late deletion and re-arrival.
+            trace.append(("remove", Tuple(ts=ts)))
+            trace.append(
+                ("insert", Tuple(ts=ts, sensor=rng.choice(sensors), reading=rng.randrange(1000)))
+            )
+    return Workload(
+        "ordered_scan",
+        "time-series event log: timestamp range scans over an ordered root index",
+        spec,
+        layout,
+        trace,
+        alternatives={
+            "flat-htable": "ts -> htable {sensor, reading}",
+            "sensor-index": (
+                "[ts -> btree {sensor, reading}"
+                " ; sensor -> htable (ts -> dlist {reading})]"
+            ),
+        },
+    )
+
+
 def spanning(scale: int) -> Workload:
     """Spanning-forest components, Kruskal-style union by bulk update.
 
@@ -423,6 +480,7 @@ WORKLOADS: Dict[str, Callable[[int], Workload]] = {
     "graph": directed_graph,
     "graph_drift": graph_drift,
     "graph_reverse": graph_reverse,
+    "ordered_scan": ordered_scan,
     "spanning": spanning,
 }
 

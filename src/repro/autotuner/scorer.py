@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.spec import RelationSpec
 from ..decomposition.model import Decomposition, MapEdge
-from ..decomposition.plan import plan_query
+from ..decomposition.plan import plan_query, residual_update_columns
 from ..decomposition.relation import DecomposedRelation
 from ..structures.base import COUNTER
 from ..structures.registry import structure_cost
@@ -129,7 +129,9 @@ def static_cost(
     live-size cost machinery; queries are charged their cheapest plan,
     inserts and removes the per-edge mutation cost for one victim on every
     edge (every branch stores the tuple), removes and updates additionally
-    their pattern's plan (updates twice: remove + re-insert).  On an edge
+    their pattern's plan (updates twice: remove + re-insert — unless the
+    update's changed columns are residual-safe for the candidate, in which
+    case it is charged the cheaper in-place batch path).  On an edge
     whose child is **shared**, the mutation cost is the structure's
     ``unlink`` cost instead of its lookup cost — the record is held by
     reference, so an intrusive container links/unlinks it in O(1) where a
@@ -174,8 +176,32 @@ def static_cost(
         cost += count * plan_cost(pattern)
     for pattern, count in profile.removes.items():
         cost += count * (plan_cost(pattern) + touch_all_edges)
-    for pattern, count in profile.updates.items():
-        cost += count * (plan_cost(pattern) + 2.0 * touch_all_edges)
+
+    # Updates whose changed columns are residual-safe on this candidate run
+    # the in-place batch path: one keyed descent per branch that stores a
+    # changed residual (shared children resolve through the uncounted
+    # registry), instead of the full remove + re-insert.  Candidates that
+    # keep hot update columns out of their edge keys are now priced for it.
+    resid_safe = (
+        residual_update_columns(decomposition, spec) if spec is not None else frozenset()
+    )
+    coverage = decomposition.edge_coverage
+
+    def resid_touch(changed: frozenset) -> float:
+        return sum(
+            structure_cost(e.structure, sizes[e], "lookup")
+            for e in edges
+            if parent_counts.get(id(e.child), 0) < 2 and coverage(e) & changed
+        )
+
+    plain = dict(profile.updates)
+    for (pattern, changed), count in profile.update_changes.items():
+        if changed and changed <= resid_safe:
+            cost += count * (plan_cost(pattern) + resid_touch(changed))
+            plain[pattern] = plain.get(pattern, 0) - count
+    for pattern, count in plain.items():
+        if count > 0:
+            cost += count * (plan_cost(pattern) + 2.0 * touch_all_edges)
     return cost
 
 

@@ -39,12 +39,12 @@ __all__ = [
 ]
 
 #: ``("insert", tuple) | ("remove", pattern) | ("update", pattern, changes)
-#: | ("query", pattern, output-or-None)`` — the format shared with
-#: ``benchmarks/workloads.py``.
+#: | ("query", pattern, output-or-None) | ("range", column, lo, hi)`` — the
+#: format shared with ``benchmarks/workloads.py``.
 Operation = PyTuple
 
 #: Operation kind → full tuple length (kind plus its arguments).
-_ARITIES = {"insert": 2, "remove": 2, "update": 3, "query": 3}
+_ARITIES = {"insert": 2, "remove": 2, "update": 3, "query": 3, "range": 4}
 
 
 class TraceProfile:
@@ -54,6 +54,11 @@ class TraceProfile:
         inserts: number of insert operations.
         queries / removes / updates: operation counts keyed by the frozenset
             of pattern columns each operation binds.
+        update_changes: update counts keyed by ``(pattern columns, changed
+            columns)`` — the finer split the static scorer needs to price
+            residual-only updates by the in-place batch path instead of the
+            generic remove/re-insert (see
+            :func:`repro.autotuner.scorer.static_cost`).
         approx_max_size: upper estimate of the relation's live size while
             the trace runs (inserts minus full clears; removals by pattern
             are not tracked, so this over-estimates).  Informational — the
@@ -71,6 +76,7 @@ class TraceProfile:
         "queries",
         "removes",
         "updates",
+        "update_changes",
         "approx_max_size",
         "column_distinct",
         "distinct_tuples",
@@ -81,6 +87,7 @@ class TraceProfile:
         self.queries: Dict[frozenset, int] = {}
         self.removes: Dict[frozenset, int] = {}
         self.updates: Dict[frozenset, int] = {}
+        self.update_changes: Dict[tuple, int] = {}
         self.approx_max_size = 0
         self.column_distinct: Dict[str, int] = {}
         self.distinct_tuples = 0
@@ -201,6 +208,15 @@ class Trace:
             elif kind == "update":
                 cols = coerce_tuple(op[1]).columns
                 profile.updates[cols] = profile.updates.get(cols, 0) + 1
+                key = (cols, coerce_tuple(op[2]).columns)
+                profile.update_changes[key] = profile.update_changes.get(key, 0) + 1
+            elif kind == "range":
+                # A range scan is charged like an unbound query (the generic
+                # fallback IS a filtered full scan) — uniform across
+                # candidates, so static ranking is unaffected; the exact
+                # replay phase rewards layouts whose ordered index serves
+                # the range by bounded descent.
+                profile.queries[frozenset()] = profile.queries.get(frozenset(), 0) + 1
             else:  # query
                 cols = coerce_tuple(op[1]).columns
                 profile.queries[cols] = profile.queries.get(cols, 0) + 1
@@ -235,10 +251,12 @@ def replay_operations(relation: RelationInterface, operations: List[Operation]) 
             update(op[1], op[2])
         elif kind == "query":
             query(op[1], op[2])
+        elif kind == "range":
+            relation.query_range(op[1], op[2], op[3])
         else:  # Unreachable for Trace (validated); raw lists may be malformed.
             raise AutotunerError(
                 f"unknown operation {kind!r}; valid kinds: "
-                f"insert, remove, update, query"
+                f"insert, remove, update, query, range"
             )
     return len(operations)
 
@@ -307,6 +325,11 @@ class TraceRecorder(RelationInterface):
             output = tuple(output)
         results = self.inner.query(pattern, output)
         self.trace.record("query", pattern, output)
+        return results
+
+    def query_range(self, column: str, lo=None, hi=None) -> List[Tuple]:
+        results = self.inner.query_range(column, lo, hi)
+        self.trace.record("range", column, lo, hi)
         return results
 
     # -- inspection, forwarded ---------------------------------------------------

@@ -60,14 +60,18 @@ class Emitter:
         self.line(header)
         return _Block(self)
 
-    def fault_check(self, site: str, injector: str = "_F") -> None:
+    def fault_check(self, site: str, injector: str = "_F", guard: str = "") -> None:
         """Emit a guarded fault-injection probe for *site*.
 
         Two lines — ``if <injector>.active: <injector>.check(<site>)`` — the
         same inert-by-default shape the hand-written tiers use: one
         attribute read when no plan is armed, and never a counted access.
+        A *guard* expression replaces the ``.active`` attribute read when
+        the caller has already hoisted it into a local (safe because
+        ``check`` is a no-op for any site other than the armed one, and a
+        fault can only arm or disarm between top-level operations).
         """
-        self.line(f"if {injector}.active:")
+        self.line(f"if {guard or injector + '.active'}:")
         with self.indent():
             self.line(f"{injector}.check({site!r})")
 

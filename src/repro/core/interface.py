@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, List, Mapping, Union
 
 from .relation import Relation
 from .tuples import Tuple
+from .values import Value, value_sort_key
 
 __all__ = ["RelationInterface", "coerce_tuple"]
 
@@ -106,6 +107,42 @@ class RelationInterface(abc.ABC):
         (it is a set of tuples) but returned as a list for convenient
         iteration; ordering is unspecified.
         """
+
+    def query_range(
+        self,
+        column: str,
+        lo: "Union[Value, None]" = None,
+        hi: "Union[Value, None]" = None,
+    ) -> List[Tuple]:
+        """The tuples whose *column* value lies in ``[lo, hi]``, ordered.
+
+        Both bounds are inclusive; ``None`` leaves that side unbounded, so
+        ``query_range(c)`` is an ordered full scan.  Results are full
+        tuples in ascending *column* order (ties broken by the tuple sort
+        key), using the same cross-type total order as container keys
+        (:func:`~repro.core.values.value_sort_key`) — every tier returns
+        the identical list, which is what the ordered-scan differential
+        tests pin.
+
+        This default filters and sorts a full ``query``; representations
+        whose layout keeps an **ordered** index on *column* (e.g. an
+        ``avl`` root edge) override it with a bounded range descent.
+        """
+        spec = getattr(self, "spec", None)
+        if spec is not None:
+            spec.check_output_columns(column)
+        lo_key = value_sort_key(lo) if lo is not None else None
+        hi_key = value_sort_key(hi) if hi is not None else None
+        results = []
+        for tup in self.query(None, None):
+            key = value_sort_key(tup[column])
+            if lo_key is not None and key < lo_key:
+                continue
+            if hi_key is not None and key > hi_key:
+                continue
+            results.append(tup)
+        results.sort(key=lambda t: (value_sort_key(t[column]), t.sort_key()))
+        return results
 
     # -- conveniences shared by all implementations ------------------------------
 

@@ -78,6 +78,7 @@ for _site in (
     "instance.remove.unlink_shared",
     "instance.remove.registry_pop",
     "instance.remove.prune",
+    "instance.update.residual",
 ):
     register_site(_site)
 
@@ -89,10 +90,12 @@ class NodeInstance:
 
     def __init__(self, node: DecompNode):
         self.node = node
-        #: One container per outgoing edge (empty for unit leaves).
-        self.containers: List[AssociativeContainer] = [
+        #: One container per outgoing edge (empty for unit leaves), packed
+        #: as a tuple — the set of edges is fixed by the decomposition, so
+        #: the slot never changes shape after construction.
+        self.containers: PyTuple[AssociativeContainer, ...] = tuple(
             e.structure_class()() for e in node.edges
-        ]
+        )
         #: The stored tuple of a unit leaf (``None`` when the leaf is empty).
         self.unit_value: Optional[Tuple] = None
         #: Link fields for intrusive parent containers (``ilist``), created
@@ -158,6 +161,7 @@ class DecompositionInstance:
         "edge_containers",
         "_shared_bound",
         "_shared",
+        "_version",
     )
 
     def __init__(self, decomposition: Decomposition, spec: RelationSpec):
@@ -181,6 +185,13 @@ class DecompositionInstance:
         """(Re-)initialise the incremental tuple count, per-edge sizes, and
         the shared-node registries."""
         self._tuple_count = 0
+        #: Monotonic mutation stamp: bumped by every completed mutator call
+        #: (and by :meth:`clear`).  ``DecomposedRelation.plan_for`` keys its
+        #: cached size signature on it, so a run of queries with no
+        #: intervening mutation recomputes no per-edge statistics.  Never
+        #: reset — a cleared instance must still look *changed* to a caller
+        #: holding an old stamp.
+        self._version = getattr(self, "_version", 0) + 1
         #: Total entries across every container materialised for an edge.
         self.edge_entries: Dict[MapEdge, int] = {e: 0 for e in self._edges}
         #: Number of containers materialised for an edge.
@@ -221,6 +232,7 @@ class DecompositionInstance:
         except BaseException as exc:
             self._rollback(ctx, exc)
             raise
+        self._version += 1
 
     def _insert_with_evictions(self, tup: Tuple, ctx: _OpContext) -> None:
         for conflict in sorted(
@@ -370,6 +382,7 @@ class DecompositionInstance:
             raise
         if removed:
             self._tuple_count -= 1
+            self._version += 1
         return removed
 
     def _rollback(self, ctx: _OpContext, cause: BaseException) -> None:
@@ -490,6 +503,71 @@ class DecompositionInstance:
             if len(container):
                 empty = False
         return removed, empty
+
+    def update_residuals(self, victims: List[Tuple], changes: Tuple) -> None:
+        """Rewrite residual-only columns of *victims* in place — the batch
+        update path.
+
+        *changes* must touch only columns outside every edge key (callers
+        gate on :func:`repro.decomposition.plan.residual_update_columns`),
+        so no container key, shared-node binding, branch membership or edge
+        size can change: each victim's unit leaves holding a changed column
+        are located through the ordinary counted descent and their unit
+        tuples replaced, with no remove/re-insert churn.  Only branches
+        whose coverage reaches a changed column are descended — a
+        key-projection branch stores no residuals and is skipped outright.
+
+        Strongly exception safe like the other mutators: unit writes are
+        journalled and rolled back in reverse on failure.
+        """
+        changed = changes.columns
+        coverage = self.decomposition.edge_coverage
+        reaches = {e: bool(coverage(e) & changed) for e in self._edges}
+        ctx = _OpContext()
+        try:
+            for tup in victims:
+                ctx.visited.clear()
+                self._update_residual(self.root, tup, changes, changed, reaches, ctx)
+        except BaseException as exc:
+            self._rollback(ctx, exc)
+            raise
+        self._version += 1
+
+    def _update_residual(
+        self,
+        instance: NodeInstance,
+        tup: Tuple,
+        changes: Tuple,
+        changed: ColumnSet,
+        reaches: Dict[MapEdge, bool],
+        ctx: _OpContext,
+    ) -> None:
+        node = instance.node
+        if node.is_unit:
+            value = instance.unit_value
+            touched = node.unit_columns & changed
+            if value is not None and touched:
+                if FAULTS.active:
+                    FAULTS.check("instance.update.residual")
+                ctx.undo.append(("unit", instance, value))
+                instance.unit_value = value.merge(changes.project(touched))
+            return
+        for container, e in zip(instance.containers, node.edges):
+            if not reaches[e]:
+                continue
+            bound = self._shared_bound.get(id(e.child))
+            if bound is not None:
+                # Registry resolution (the held record pointer, uncounted);
+                # a shared subtree is rewritten once per victim even when
+                # several parents reach it.
+                child = self._shared[id(e.child)].get(tup.project(bound))
+                if child is not None and id(child) not in ctx.visited:
+                    ctx.visited.add(id(child))
+                    self._update_residual(child, tup, changes, changed, reaches, ctx)
+            else:
+                child = container.lookup(tup.project(e.key))
+                if child is not MISSING:
+                    self._update_residual(child, tup, changes, changed, reaches, ctx)
 
     def clear(self) -> None:
         """Reset to the empty instance."""

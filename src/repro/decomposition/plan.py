@@ -68,6 +68,7 @@ __all__ = [
     "JoinPlan",
     "path_steps",
     "plan_query",
+    "residual_update_columns",
     "validate_plan",
     "execute_plan",
     "converging_plans",
@@ -381,6 +382,43 @@ def path_steps(path: Path, bound: ColumnSet) -> List[PlanStep]:
         LookupStep(e, index) if e.key <= bound else ScanStep(e, index)
         for index, e in zip(path.edge_indices, path.edges)
     ]
+
+
+def residual_update_columns(
+    decomposition: Decomposition, spec: RelationSpec
+) -> ColumnSet:
+    """Columns an ``update`` may rewrite in place (the batch-update gate).
+
+    A column qualifies when it is stored *only* as a leaf residual — it
+    appears in no edge key anywhere in the decomposition, so changing it
+    never moves a tuple between containers — and it is FD-inert: it sits on
+    no functional dependency's left-hand side, and on a right-hand side only
+    when that dependency's left-hand side closes over the whole schema.  The
+    closure condition makes each victim the unique stored row for its
+    left-hand-side binding (FD enforcement, or the FD-off last-writer-wins
+    eviction invariant, guarantees uniqueness), so rewriting the residual
+    can neither merge two rows into one nor create a conflict a re-insert
+    would have evicted — the in-place path is state-identical to
+    remove-then-reinsert in both FD modes.
+    """
+    all_cols = frozenset(spec.columns)
+    key_cols: set = set()
+    for node in decomposition.nodes():
+        for e in node.edges:
+            key_cols |= e.key
+    safe = set()
+    for c in all_cols - key_cols:
+        ok = True
+        for fd in spec.fds:
+            if c in fd.lhs:
+                ok = False
+                break
+            if c in fd.rhs and not all_cols <= spec.fds.closure(fd.lhs):
+                ok = False
+                break
+        if ok:
+            safe.add(c)
+    return frozenset(safe)
 
 
 def _chain_witness(

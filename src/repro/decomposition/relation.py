@@ -23,7 +23,14 @@ from ..core.tuples import Tuple
 from .instance import DecompositionInstance
 from .model import Decomposition
 from .parser import parse_decomposition
-from .plan import AnyPlan, execute_plan, plan_query
+from .plan import (
+    AnyPlan,
+    LookupStep,
+    QueryPlan,
+    execute_plan,
+    plan_query,
+    residual_update_columns,
+)
 
 __all__ = ["DecomposedRelation"]
 
@@ -66,6 +73,9 @@ class DecomposedRelation(RelationInterface):
         self.instance = DecompositionInstance(decomposition, spec)
         self._plan_cache: Dict[ColumnSet, AnyPlan] = {}
         self._plan_signature = self.instance.size_signature()
+        self._plan_version = self.instance._version
+        #: Columns ``update`` may rewrite in place (fixed per layout).
+        self._resid_safe = residual_update_columns(decomposition, spec)
 
     # -- planning ---------------------------------------------------------------
 
@@ -78,11 +88,19 @@ class DecomposedRelation(RelationInterface):
         of two), the cache is invalidated and subsequent patterns are
         re-planned — so index-vs-scan choices track the data actually
         stored, not the symbolic :data:`~repro.decomposition.plan.DEFAULT_COST_SIZE`.
+
+        The signature itself is only recomputed when the instance's
+        mutation stamp has moved since the last call — a run of queries
+        with no intervening mutation resolves its plans with two attribute
+        reads and one dict probe.
         """
-        signature = self.instance.size_signature()
-        if signature != self._plan_signature:
-            self._plan_cache.clear()
-            self._plan_signature = signature
+        version = self.instance._version
+        if version != self._plan_version:
+            self._plan_version = version
+            signature = self.instance.size_signature()
+            if signature != self._plan_signature:
+                self._plan_cache.clear()
+                self._plan_signature = signature
         key = columns(pattern_columns)
         plan = self._plan_cache.get(key)
         if plan is None:
@@ -185,6 +203,19 @@ class DecomposedRelation(RelationInterface):
         """
         pattern = coerce_tuple(pattern)
         self.spec.check_partial_tuple(pattern, role="removal pattern")
+        plan = self.plan_for(pattern.columns)
+        if type(plan) is QueryPlan and all(
+            type(step) is LookupStep for step in plan.steps
+        ):
+            # Fully-indexed pattern: every step is a keyed lookup, so the
+            # descent reaches at most one unit leaf — remove the single
+            # victim straight off the generator, with no victim list and no
+            # outer journal (``remove_tuple`` is itself atomic).  The probe
+            # sequence is identical to the materialising path.
+            victim = next(execute_plan(plan, self.instance, pattern), None)
+            if victim is not None:
+                self.instance.remove_tuple(victim)
+            return
         removed: List[Tuple] = []
         try:
             for victim in self._matches(pattern):
@@ -203,6 +234,13 @@ class DecomposedRelation(RelationInterface):
             return
         victims = self._matches(pattern)
         if not victims:
+            return
+        if changes.columns <= self._resid_safe:
+            # Residual-only changes: no container key moves and no FD can
+            # become violated (see ``residual_update_columns``), so the
+            # victims are rewritten in place — state-identical to the
+            # remove/re-insert below in both FD modes, without the churn.
+            self.instance.update_residuals(victims, changes)
             return
         merged = [victim.merge(changes) for victim in victims]
         if self.enforce_fds:
@@ -238,8 +276,15 @@ class DecomposedRelation(RelationInterface):
                 done.append(("rem", victim))
             if self.enforce_fds:
                 for tup in merged:
+                    # A merged tuple can coincide with a row that was already
+                    # stored (and was not a victim); the insert is then a
+                    # no-op and must NOT be journalled — undoing it would
+                    # delete the pre-existing row.  The O(1) count delta
+                    # tells the two cases apart without extra probes.
+                    before = len(self.instance)
                     self.instance.insert_tuple(tup)
-                    done.append(("ins", tup))
+                    if len(self.instance) != before:
+                        done.append(("ins", tup))
             else:
                 # Canonical re-insertion order: colliding merges must resolve
                 # to the same winner in every tier, independent of container
@@ -247,8 +292,10 @@ class DecomposedRelation(RelationInterface):
                 for tup in sorted(dict.fromkeys(merged), key=Tuple.sort_key):
                     for evicted in self._evict_fd_conflicts(tup):
                         done.append(("rem", evicted))
+                    before = len(self.instance)
                     self.instance.insert_tuple(tup)
-                    done.append(("ins", tup))
+                    if len(self.instance) != before:
+                        done.append(("ins", tup))
         except BaseException as exc:
             self._undo_ops(done, exc)
             raise
@@ -266,6 +313,31 @@ class DecomposedRelation(RelationInterface):
             wanted = self.spec.check_output_columns(output)
         results = {t.project(wanted) for t in self._matches(pattern)}
         return list(results)
+
+    def query_range(self, column, lo=None, hi=None) -> List[Tuple]:
+        """Ordered range scan over *column* (see :class:`RelationInterface`).
+
+        When the root holds an **ordered** edge keyed by exactly *column*
+        (e.g. ``ts -> avl ...``), the scan descends that container's
+        :meth:`~repro.structures.base.AssociativeContainer.items_range`
+        fast path — O(log n) boundary probes plus the in-range subtrees —
+        instead of filtering a full scan.  Key groups arrive in ascending
+        key order; each group is sorted by tuple sort key, matching the
+        generic tier-independent ordering bit for bit.
+        """
+        wanted = self.spec.check_output_columns(column)
+        root = self.instance.root
+        for container, e in zip(root.containers, root.node.edges):
+            if e.key == wanted and e.structure_class().ORDERED:
+                lo_bound = Tuple({column: lo}) if lo is not None else None
+                hi_bound = Tuple({column: hi}) if hi is not None else None
+                results: List[Tuple] = []
+                for key, child in container.items_range(lo_bound, hi_bound):
+                    results.extend(
+                        sorted(self.instance._iter(child, key), key=Tuple.sort_key)
+                    )
+                return results
+        return super().query_range(column, lo, hi)
 
     # -- inspection -------------------------------------------------------------
 

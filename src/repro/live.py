@@ -94,6 +94,16 @@ del _site
 #: pattern — every insert binds the full column set).
 Operation = PyTuple
 
+#: The migration guard's payback requirement: a swap must recoup its
+#: migration cost within this many ``min_ops`` re-tune windows (or within
+#: the ops actually observed since the last tune, whichever is longer).
+#: Deliberately generous — the reservoir sample still contains pre-drift
+#: operations, so the replayed access gap *understates* the winner's
+#: steady-state advantage; the guard exists to stop marginal winners from
+#: forcing a full-relation migration on big instances, not to second-guess
+#: a clear drift.
+_GUARD_PAYBACK_WINDOWS = 16
+
 
 def _op_key(op: Operation) -> PyTuple:
     """The mix-histogram key of one operation: kind + bound pattern columns."""
@@ -273,6 +283,13 @@ class RetunePolicy:
         quarantine: remember the layouts whose compile/migrate/verify
             failed and never pick them as a re-tune winner again (the best
             non-quarantined candidate wins instead).
+        guard: apply the migration cost/benefit guard — when the estimated
+            cost of migrating every live row to the winning layout exceeds
+            the savings the winner is projected to earn over the next
+            re-tune window, the swap is skipped and the current layout
+            keeps serving.  The decision (either way) is recorded on the
+            report's ``guard`` field and surfaced by
+            :meth:`LiveRelation.live_stats`.
     """
 
     __slots__ = (
@@ -286,6 +303,7 @@ class RetunePolicy:
         "max_failures",
         "backoff_factor",
         "quarantine",
+        "guard",
     )
 
     def __init__(
@@ -300,6 +318,7 @@ class RetunePolicy:
         max_failures: int = 3,
         backoff_factor: float = 2.0,
         quarantine: bool = True,
+        guard: bool = True,
     ):
         if min_ops < 1 or migrate_batch < 1:
             raise LiveRelationError("min_ops and migrate_batch must be >= 1")
@@ -321,6 +340,7 @@ class RetunePolicy:
         self.max_failures = max_failures
         self.backoff_factor = backoff_factor
         self.quarantine = quarantine
+        self.guard = guard
 
     @classmethod
     def coerce(cls, value: Union["RetunePolicy", Mapping, None]) -> "RetunePolicy":
@@ -357,6 +377,7 @@ class RetuneReport:
         "tuning",
         "error",
         "pending",
+        "guard",
     )
 
     def __init__(
@@ -380,6 +401,11 @@ class RetuneReport:
         self.error: Optional[str] = None
         #: ``True`` while a background tune for this report is in flight.
         self.pending = False
+        #: Migration cost/benefit decision (``None`` when no swap was under
+        #: consideration): a dict with the estimated ``migration_cost``,
+        #: ``projected_savings``, ``horizon`` and whether the swap was
+        #: ``skipped``.
+        self.guard: Optional[Dict[str, object]] = None
 
     def describe(self) -> str:
         if self.error is not None:
@@ -518,6 +544,13 @@ class LiveRelation(RelationInterface):
             "backoff_ops": self._backoff_ops,
             "last_error": self._last_error,
             "retune_pending": self._tune_box is not None,
+            "guard_skips": sum(
+                1 for r in self.retunes if r.guard is not None and r.guard["skipped"]
+            ),
+            "last_guard": next(
+                (r.guard for r in reversed(self.retunes) if r.guard is not None),
+                None,
+            ),
         }
 
     @property
@@ -802,6 +835,7 @@ class LiveRelation(RelationInterface):
         report.tuning = tuning
         # The tune consumed this window: future drift is measured against it.
         self.sampler.rebase()
+        horizon = self._ops_since_tune
         self._ops_since_tune = 0
 
         winner = self._pick_winner(tuning, current)
@@ -817,6 +851,17 @@ class LiveRelation(RelationInterface):
             tuning.winner = winner
         report.new_layout = winner.decomposition.describe()
         if current is not None and canonical_shape(winner.decomposition) == canonical_shape(current):
+            report.new_layout = report.old_layout
+            self._consecutive_failures = 0
+            self._backoff_ops = 0
+            return report
+
+        if self.policy.guard and not self._guard_allows(
+            report, current, tuning, winner, horizon
+        ):
+            # The projected savings do not pay for moving every live row:
+            # keep serving on the current layout.  Not a failure — the
+            # search itself succeeded, the swap was just not worth it.
             report.new_layout = report.old_layout
             self._consecutive_failures = 0
             self._backoff_ops = 0
@@ -850,6 +895,58 @@ class LiveRelation(RelationInterface):
         else:
             self._migrate_sync(new_backing, report)
         return report
+
+    def _guard_allows(
+        self,
+        report: RetuneReport,
+        current: Optional[Decomposition],
+        tuning: TuningResult,
+        winner: "ScoredCandidate",
+        horizon: int,
+    ) -> bool:
+        """Cost/benefit check before a hot swap; records the decision.
+
+        Savings are estimated from the exact replay the autotuner already
+        paid for: the access gap between the current layout and the winner
+        over the re-tune trace, scaled per-operation and projected over the
+        ops observed since the last tune (the best available guess at the
+        next window).  Migration cost is proxied as one counted access per
+        live row per distinct edge of the winning layout — what the
+        enumerate + reinsert pass (or the dual-write pump) must pay.  When
+        the current layout was not replayed (or has no exact count) the
+        guard abstains and the swap proceeds.
+        """
+        current_shape = canonical_shape(current) if current is not None else None
+        cur_accesses: Optional[int] = None
+        for candidate in tuning.replayed:
+            if canonical_shape(candidate.decomposition) == current_shape:
+                cur_accesses = candidate.accesses
+                break
+        if cur_accesses is None or winner.accesses is None:
+            return True
+        # The re-tune trace opens with one rebuild insert per live row (see
+        # _retune_trace) — state reconstruction, not workload.  Scale the
+        # access gap over the sampled serving ops only, or the guard
+        # under-prices winners on well-populated relations.
+        serving_ops = max(1, len(tuning.trace) - len(self._backing))
+        savings_per_op = (cur_accesses - winner.accesses) / serving_ops
+        # A swap keeps earning until the *next* re-tune, not just for one
+        # window — require payback within a few windows, so marginal
+        # winners stay put but a genuinely better layout is never starved
+        # by a short last window.
+        payback = max(horizon, self.policy.min_ops * _GUARD_PAYBACK_WINDOWS, 1)
+        projected = savings_per_op * payback
+        edge_count = sum(len(node.edges) for node in winner.decomposition.nodes())
+        migration_cost = float(len(self._backing) * max(1, edge_count))
+        skipped = projected < migration_cost
+        report.guard = {
+            "horizon": payback,
+            "savings_per_op": round(savings_per_op, 3),
+            "projected_savings": round(projected, 1),
+            "migration_cost": migration_cost,
+            "skipped": skipped,
+        }
+        return not skipped
 
     # -- background re-tune (search off-thread, swap on-thread) ------------------
 

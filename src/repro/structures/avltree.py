@@ -93,6 +93,8 @@ class AVLTreeMap(AssociativeContainer):
     INTRUSIVE = False
     CODEGEN_STRATEGY = "tree"
 
+    __slots__ = ("_root", "_size")
+
     def __init__(self) -> None:
         self._root: Optional[_AVLNode] = None
         self._size = 0
@@ -181,6 +183,37 @@ class AVLTreeMap(AssociativeContainer):
     def items(self) -> Iterator[PyTuple[Tuple, Any]]:
         COUNTER.count_scan()
         yield from self._in_order(self._root)
+
+    def items_range(
+        self, lo: Optional[Tuple] = None, hi: Optional[Tuple] = None
+    ) -> Iterator[PyTuple[Tuple, Any]]:
+        """In-order iteration over ``lo ≤ key ≤ hi`` by bounded descent.
+
+        Subtrees wholly outside the bounds are pruned, so only the two
+        boundary paths and the in-range entries are visited: O(log n + k)
+        counted accesses — the operation the cost model's ``ORDERED`` flag
+        promises and the generic fallback (a filtered full sort) cannot
+        deliver.
+        """
+        COUNTER.count_scan()
+        lo_key = lo.sort_key() if lo is not None else None
+        hi_key = hi.sort_key() if hi is not None else None
+        yield from self._range(self._root, lo_key, hi_key)
+
+    def _range(
+        self, node: Optional[_AVLNode], lo_key: Optional[PyTuple], hi_key: Optional[PyTuple]
+    ) -> Iterator[PyTuple[Tuple, Any]]:
+        if node is None:
+            return
+        COUNTER.count_access()
+        above_lo = lo_key is None or lo_key <= node.sort_key
+        below_hi = hi_key is None or node.sort_key <= hi_key
+        if above_lo:
+            yield from self._range(node.left, lo_key, hi_key)
+            if below_hi:
+                yield node.key, node.value
+        if below_hi:
+            yield from self._range(node.right, lo_key, hi_key)
 
     def _in_order(self, node: Optional[_AVLNode]) -> Iterator[PyTuple[Tuple, Any]]:
         if node is None:

@@ -156,6 +156,12 @@ class AssociativeContainer(abc.ABC):
     #: (``insert_unique``, ``remove_value``) extend this tuple.
     FAULT_OPS: "PyTuple[str, ...]" = ("insert", "lookup", "remove")
 
+    #: No per-instance dict at the base: concrete containers declare their
+    #: own slots, and instances stay as small as the node records they
+    #: model.  (User-registered structures may still opt out by omitting
+    #: ``__slots__`` in their subclass.)
+    __slots__ = ()
+
     # -- cost model --------------------------------------------------------------
 
     @classmethod
@@ -217,6 +223,27 @@ class AssociativeContainer(abc.ABC):
         shared-node registry proves a key is new to every parent container.
         """
         self.insert(key, value)
+
+    def items_range(
+        self, lo: "Optional[Tuple]" = None, hi: "Optional[Tuple]" = None
+    ) -> Iterator[PyTuple[Tuple, Any]]:
+        """Iterate ``(key, value)`` pairs with ``lo ≤ key ≤ hi`` in key-sort
+        order (both bounds inclusive; ``None`` leaves that side unbounded).
+
+        The default filters a fully-sorted scan — O(n log n) accesses —
+        which is correct for any container; :class:`ordered <AVLTreeMap>`
+        structures override it with a bounded descent that touches only
+        the boundary paths and the entries in range (O(log n + k)).
+        """
+        lo_key = lo.sort_key() if lo is not None else None
+        hi_key = hi.sort_key() if hi is not None else None
+        for key, value in self.sorted_items():
+            sort_key = key.sort_key()
+            if lo_key is not None and sort_key < lo_key:
+                continue
+            if hi_key is not None and sort_key > hi_key:
+                break
+            yield key, value
 
     def keys(self) -> Iterator[Tuple]:
         for key, _ in self.items():

@@ -43,6 +43,8 @@ class DListMap(AssociativeContainer):
     CODEGEN_STRATEGY = "list"
     FAULT_OPS = ("insert", "insert_unique", "lookup", "remove")
 
+    __slots__ = ("_head", "_tail", "_size")
+
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None
         self._tail: Optional[_ListNode] = None
@@ -158,6 +160,8 @@ class IntrusiveListMap(AssociativeContainer):
     INTRUSIVE = True
     CODEGEN_STRATEGY = "intrusive"
     FAULT_OPS = ("insert", "insert_unique", "lookup", "remove", "remove_value")
+
+    __slots__ = ("_head", "_tail", "_size", "_side_links")
 
     def __init__(self) -> None:
         self._head: Optional[_ListNode] = None

@@ -42,6 +42,8 @@ class HashTableMap(AssociativeContainer):
     #: Initial number of buckets.
     INITIAL_BUCKETS = 8
 
+    __slots__ = ("_buckets", "_size")
+
     def __init__(self, initial_buckets: int = INITIAL_BUCKETS) -> None:
         if initial_buckets < 1:
             initial_buckets = self.INITIAL_BUCKETS

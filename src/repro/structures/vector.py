@@ -32,6 +32,8 @@ class VectorMap(AssociativeContainer):
     CODEGEN_STRATEGY = "list"
     FAULT_OPS = ("insert", "insert_unique", "lookup", "remove")
 
+    __slots__ = ("_entries", "_size")
+
     def __init__(self) -> None:
         self._entries: List[Optional[PyTuple[Tuple, Any]]] = []
         self._size = 0
@@ -122,6 +124,8 @@ class IndexedVectorMap(AssociativeContainer):
 
     #: Largest key stored densely; beyond this the overflow map is used.
     MAX_DENSE_KEY = 1 << 20
+
+    __slots__ = ("_dense", "_dense_keys", "_overflow", "_size")
 
     def __init__(self) -> None:
         self._dense: List[Any] = []
