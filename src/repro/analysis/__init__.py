@@ -1,0 +1,51 @@
+"""``repro.analysis`` — static verification of the synthesis pipeline.
+
+Two passes, one diagnostic model:
+
+* :func:`verify_class` / :func:`verify_source` (``EA0xx``) — parse a
+  compiled relation class's emitted source and prove the structural
+  disciplines on every path: journalled mutations inside rollback scopes,
+  access charges dominating every counted probe, guarded and registered
+  fault sites, complete dispatch tables, and closed attribute sets.
+* :func:`lint` (``DL0xx``) — lint a decomposition (text or parsed) against
+  its spec's FDs and, optionally, a recorded workload trace: unreachable
+  ``where`` definitions, FD-redundant edges, single-parent sharing, ordered
+  structures no range query pays for, uncovered range columns, and
+  projection branches no plan walks.
+
+``python -m repro.analysis --all-layouts --strict`` runs both over every
+benchmark layout and fails on any error-severity finding — the CI gate.
+
+The motivation is the hypersafety framing in PAPERS.md: tier equivalence
+and rollback-restores-state are 2-safety properties that sampled testing
+(chaos sweeps, differential traces) can only spot-check, while the emitted
+code's *disciplines* are plain 1-safety structure a static pass can prove
+exhaustively on every emitted path of every layout.
+"""
+
+from .declint import lint
+from .diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    Loc,
+    has_errors,
+    render_json,
+    render_text,
+    summarize,
+)
+from .emitted import verify_class, verify_source
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "Loc",
+    "has_errors",
+    "lint",
+    "render_json",
+    "render_text",
+    "summarize",
+    "verify_class",
+    "verify_source",
+]

@@ -1,0 +1,151 @@
+"""Shared diagnostic model for the static-analysis passes.
+
+Both analyses — the emitted-code verifier (:mod:`repro.analysis.emitted`,
+``EA0xx`` codes) and the decomposition linter (:mod:`repro.analysis.declint`,
+``DL0xx`` codes) — report through one :class:`Diagnostic` record so the CLI,
+the CI gate, and the tests consume a single shape.  Codes are stable
+identifiers (documented in the README's "Static analysis" section); severity
+is the gate: ``error`` findings fail ``--strict`` runs, ``warning`` findings
+are advisory style/performance signals that legitimately fire on some
+benchmark *alternative* layouts (they exist to be worse).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "Loc",
+    "has_errors",
+    "render_json",
+    "render_text",
+    "summarize",
+]
+
+ERROR = "error"
+WARNING = "warning"
+_SEVERITIES = (ERROR, WARNING)
+
+
+class Loc:
+    """Where a finding anchors: a unit (class/layout), scope, and line.
+
+    ``unit`` names the analysed artifact (a compiled class name or a
+    layout's display name), ``scope`` the method or edge inside it, and
+    ``line`` the 1-based line in the emitted source when the finding came
+    from an AST node (0 when the finding is structural, e.g. a missing
+    dispatch entry has no line to point at).
+    """
+
+    __slots__ = ("unit", "scope", "line")
+
+    def __init__(self, unit: str, scope: str = "", line: int = 0) -> None:
+        self.unit = unit
+        self.scope = scope
+        self.line = line
+
+    def __str__(self) -> str:
+        parts = [self.unit]
+        if self.scope:
+            parts.append(self.scope)
+        where = ".".join(parts)
+        if self.line:
+            where += f":{self.line}"
+        return where
+
+    def __repr__(self) -> str:
+        return f"Loc({self.unit!r}, {self.scope!r}, {self.line})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Loc):
+            return NotImplemented
+        return (self.unit, self.scope, self.line) == (other.unit, other.scope, other.line)
+
+    def __hash__(self) -> int:
+        return hash((self.unit, self.scope, self.line))
+
+
+class Diagnostic:
+    """One finding: a stable code, a severity, a message, and a location."""
+
+    __slots__ = ("code", "severity", "message", "loc")
+
+    def __init__(self, code: str, severity: str, message: str, loc: Loc) -> None:
+        if severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}; expected one of {_SEVERITIES}")
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.loc = loc
+
+    def __str__(self) -> str:
+        return f"{self.loc}: {self.severity} {self.code}: {self.message}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Diagnostic({self.code!r}, {self.severity!r}, {self.message!r}, {self.loc!r})"
+        )
+
+    def sort_key(self) -> tuple:
+        return (
+            self.loc.unit,
+            0 if self.severity == ERROR else 1,
+            self.code,
+            self.loc.scope,
+            self.loc.line,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "unit": self.loc.unit,
+            "scope": self.loc.scope,
+            "line": self.loc.line,
+        }
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == ERROR for d in diagnostics)
+
+
+def summarize(diagnostics: Sequence[Diagnostic]) -> str:
+    """One-line roll-up (``3 error(s), 2 warning(s) in 22 unit(s)``)."""
+    errors = sum(1 for d in diagnostics if d.severity == ERROR)
+    warnings = len(diagnostics) - errors
+    units = len({d.loc.unit for d in diagnostics})
+    return f"{errors} error(s), {warnings} warning(s) in {units} unit(s)"
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable listing, one finding per line, grouped by unit."""
+    if not diagnostics:
+        return "no findings\n"
+    lines: List[str] = []
+    last_unit: Optional[str] = None
+    for diag in sorted(diagnostics, key=Diagnostic.sort_key):
+        if diag.loc.unit != last_unit:
+            lines.append(f"== {diag.loc.unit}")
+            last_unit = diag.loc.unit
+        where = diag.loc.scope or "<module>"
+        if diag.loc.line:
+            where += f":{diag.loc.line}"
+        lines.append(f"  {diag.severity:<7} {diag.code}  {where}  {diag.message}")
+    lines.append(summarize(diagnostics))
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diagnostics: Sequence[Diagnostic], **extra: object) -> str:
+    """Machine-readable dump (the CI artifact): findings plus a summary."""
+    payload: Dict[str, object] = {
+        "findings": [d.to_dict() for d in sorted(diagnostics, key=Diagnostic.sort_key)],
+        "errors": sum(1 for d in diagnostics if d.severity == ERROR),
+        "warnings": sum(1 for d in diagnostics if d.severity == WARNING),
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

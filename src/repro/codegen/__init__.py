@@ -33,6 +33,7 @@ from .compiler import (
     codegen_cache_stats,
     compile_relation,
     generate_source,
+    generate_source_and_meta,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "codegen_cache_stats",
     "compile_relation",
     "generate_source",
+    "generate_source_and_meta",
 ]

@@ -45,6 +45,7 @@ to disk and inspected (``compile_relation`` attaches it as ``__source__``).
 
 from __future__ import annotations
 
+import linecache
 import re
 import threading
 from itertools import count as _count_from
@@ -79,6 +80,7 @@ __all__ = [
     "codegen_cache_stats",
     "compile_relation",
     "generate_source",
+    "generate_source_and_meta",
 ]
 
 #: Injection sites emitted into every generated class's mutators.  They sit
@@ -785,6 +787,31 @@ class _RelationCompiler:
                 self._emit_rows_path(index)
             self._emit_inspection()
         self._emit_dispatch(subsets, method_names, rm_names)
+        #: Per-class metadata consumed by the static verifier
+        #: (``repro.analysis.emitted``): the dispatch masks the compiler
+        #: actually planned for, which fault sites it emitted, and the plan
+        #: behind every specialised query method.  Attached to the compiled
+        #: class as ``__repro_meta__``.
+        self.meta = {
+            "class_name": self.class_name,
+            "columns": list(self.cols),
+            "layout": self.decomposition.describe(),
+            "masks": sorted(self._mask(s) for s in subsets),
+            "batch_masks": sorted(self._mask(s) for s in self.batch_subsets),
+            "has_range": self.has_range,
+            "resid_safe": sorted(self.resid_safe),
+            "shared_nodes": len(self.shared_nodes),
+            "fault_sites": sorted(em.fault_sites),
+            "queries": {
+                self._mask(s): {
+                    "method": method_names[s],
+                    "vmethod": f"_qv_{self._mask(s)}",
+                    "pattern": sorted(s),
+                    "plan": plans[s].describe(),
+                }
+                for s in subsets
+            },
+        }
         return em.source()
 
     def _emit_module_header(self) -> None:
@@ -1998,6 +2025,26 @@ def generate_source(
     layout string (which would be re-parsed into fresh edge objects, making
     every size lookup miss silently) is rejected.
     """
+    return generate_source_and_meta(
+        spec, decomposition, class_name, enforce_fds_default, sizes
+    )[0]
+
+
+def generate_source_and_meta(
+    spec: RelationSpec,
+    decomposition: Union[Decomposition, str],
+    class_name: Optional[str] = None,
+    enforce_fds_default: bool = True,
+    sizes: Optional[Mapping[MapEdge, float]] = None,
+) -> "tuple[str, Dict[str, object]]":
+    """Like :func:`generate_source`, also returning the compiler's metadata.
+
+    The metadata dict records what the compiler *intended* to emit — the
+    dispatch masks it planned, the fault sites it placed, the plan behind
+    every specialised query method — and is what
+    :mod:`repro.analysis.emitted` cross-checks the emitted source against
+    (and what :func:`compile_relation` attaches as ``__repro_meta__``).
+    """
     if isinstance(decomposition, str):
         if sizes is not None:
             raise DecompositionError(
@@ -2009,9 +2056,11 @@ def generate_source(
             )
         decomposition = parse_decomposition(decomposition)
     class_name = class_name or _default_class_name(decomposition.name)
-    return _RelationCompiler(
+    compiler = _RelationCompiler(
         spec, decomposition, class_name, enforce_fds_default, sizes
-    ).generate()
+    )
+    source = compiler.generate()
+    return source, compiler.meta
 
 
 #: Generated-class cache: ``compile_relation`` is pure in
@@ -2101,8 +2150,11 @@ def compile_relation(
     with :class:`~repro.core.reference.ReferenceRelation` and
     :class:`~repro.decomposition.relation.DecomposedRelation`; construct
     instances with ``cls(enforce_fds=True)``.  The generated module source
-    is attached as ``cls.__source__``; the originating objects as
-    ``cls.SPEC`` and ``cls.DECOMPOSITION``.
+    is attached as ``cls.__repro_source__`` (``cls.__source__`` remains as
+    an alias), the compiler's metadata as ``cls.__repro_meta__``, the
+    originating objects as ``cls.SPEC`` and ``cls.DECOMPOSITION``, and the
+    source is registered with :mod:`linecache` so tracebacks from emitted
+    code show real generated lines.
 
     Classes are cached by ``(spec, canonical_shape(decomposition),
     class name, FD default, size classes)`` — a repeated compilation
@@ -2134,14 +2186,27 @@ def compile_relation(
             return cached
         _CACHE_STATS["misses"] += 1
     # Generate and exec outside the lock: slow, and touches no shared state.
-    source = generate_source(spec, decomposition, class_name, enforce_fds_default, sizes)
+    source, meta = generate_source_and_meta(
+        spec, decomposition, class_name, enforce_fds_default, sizes
+    )
     module_name = f"repro.codegen.generated_{next(_generated_modules)}"
+    filename = f"<{module_name}>"
+    meta["module"] = module_name
+    meta["filename"] = filename
     namespace: Dict[str, object] = {"__name__": module_name}
-    exec(compile(source, f"<{module_name}>", "exec"), namespace)
+    exec(compile(source, filename, "exec"), namespace)
     cls = namespace[class_name]
     cls.__source__ = source  # type: ignore[attr-defined]
+    cls.__repro_source__ = source  # type: ignore[attr-defined]
+    cls.__repro_meta__ = meta  # type: ignore[attr-defined]
     cls.SPEC = spec  # type: ignore[attr-defined]
     cls.DECOMPOSITION = decomposition  # type: ignore[attr-defined]
+    # Register the generated module with linecache so tracebacks (and
+    # inspect.getsource) raised inside emitted mutators show the real
+    # generated lines instead of blank ``<repro.codegen.generated_N>``
+    # frames.  A ``None`` mtime marks the entry immune to
+    # ``linecache.checkcache`` eviction (the idiom IPython uses for cells).
+    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
     with _CACHE_LOCK:
         # Re-check: a concurrent same-key compile may have won the race;
         # adopt its class so key-equal calls keep returning one object.

@@ -8,7 +8,7 @@ the generation logic so the emission code reads like the code it produces.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List
+from typing import Iterator, List, Set
 
 __all__ = ["Emitter"]
 
@@ -21,6 +21,11 @@ class Emitter:
     def __init__(self) -> None:
         self._lines: List[str] = []
         self._depth = 0
+        #: Every fault site named by a :meth:`fault_check` emitted through
+        #: this emitter — the ground truth for the static verifier's
+        #: site round-trip check (``repro.analysis``), recorded in the
+        #: compiled class's ``__repro_meta__``.
+        self.fault_sites: Set[str] = set()
 
     def line(self, text: str = "") -> None:
         """Append one line at the current indentation (blank lines unindented)."""
@@ -71,6 +76,7 @@ class Emitter:
         ``check`` is a no-op for any site other than the armed one, and a
         fault can only arm or disarm between top-level operations).
         """
+        self.fault_sites.add(site)
         self.line(f"if {guard or injector + '.active'}:")
         with self.indent():
             self.line(f"{injector}.check({site!r})")

@@ -41,19 +41,27 @@ Design:
 
 from __future__ import annotations
 
+import re
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple as PyTuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple as PyTuple
 
 from .core.errors import FaultInjected, ReproError
 
 __all__ = [
     "FAULTS",
     "FaultInjector",
+    "assert_all_sites_known",
     "fault_sites",
     "inject",
     "register_site",
 ]
+
+#: Site names are dotted paths of lower-case snake-case segments
+#: (``codegen.remove.unlink``, ``structures.htable.insert``): at least two
+#: segments, so a bare word — almost always a typo'd or stale name — is
+#: rejected at registration instead of silently never arming.
+_SITE_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 
 class FaultInjector:
@@ -91,15 +99,44 @@ class FaultInjector:
     # -- registry ---------------------------------------------------------------
 
     def register_site(self, name: str) -> str:
-        """Register *name* as an injection site (idempotent); returns it."""
+        """Register *name* as an injection site (idempotent); returns it.
+
+        Names must live in the dotted site namespace
+        (``<layer>.<operation>[.<detail>...]``, lower-case snake-case
+        segments) — the same namespace :meth:`assert_all_sites_known` and
+        the static verifier round-trip against.
+        """
         if not name:
             raise ReproError("fault site names must be non-empty")
+        if _SITE_NAME_RE.match(name) is None:
+            raise ReproError(
+                f"fault site name {name!r} is outside the site namespace "
+                "(expected dotted lower-case segments like "
+                "'codegen.remove.unlink')"
+            )
         self._sites.setdefault(name, 0)
         return name
 
     def sites(self) -> List[str]:
         """Every registered site name, sorted."""
         return sorted(self._sites)
+
+    def assert_all_sites_known(self, names: Iterable[str]) -> None:
+        """Fail fast unless every name in *names* is a registered site.
+
+        A typo'd site in a sweep list or an emitted guard would otherwise
+        silently never arm (the check self-selects by name, so an unknown
+        name simply never fires).  Raises :class:`ReproError` listing every
+        unknown name; accepts any iterable of names.
+        """
+        unknown = sorted(set(names) - set(self._sites))
+        if unknown:
+            raise ReproError(
+                "unknown fault site(s): "
+                + ", ".join(repr(n) for n in unknown)
+                + "; registered sites: "
+                + ", ".join(self.sites())
+            )
 
     # -- arming -----------------------------------------------------------------
 
@@ -198,6 +235,11 @@ def fault_sites() -> List[str]:
     """Every registered injection site (import ``repro`` first so all
     instrumented modules have registered theirs)."""
     return FAULTS.sites()
+
+
+def assert_all_sites_known(names: Iterable[str]) -> None:
+    """Validate *names* against the library-wide registry (fail fast)."""
+    FAULTS.assert_all_sites_known(names)
 
 
 @contextmanager

@@ -248,7 +248,7 @@ def test_reference_atomic_commit_per_site(enforce_fds):
 def live_relation(**policy_overrides):
     """A live interpreted relation on a deliberately poor layout, warmed up
     with a lookup-heavy workload so an unfaulted re-tune *will* swap."""
-    policy = dict(auto=False, min_ops=1, max_failures=3, migrate_batch=4)
+    policy = {"auto": False, "min_ops": 1, "max_failures": 3, "migrate_batch": 4}
     policy.update(policy_overrides)
     spec = scheduler_spec()
     rel = repro.open(
@@ -491,3 +491,30 @@ def test_faults_are_exported_at_the_top_level():
     assert repro.fault_sites() == fault_sites()
     with repro.inject("reference.insert"):
         assert FAULTS.active
+
+
+def test_register_site_enforces_the_dotted_namespace():
+    from repro.faults import FaultInjector
+
+    inj = FaultInjector()
+    assert inj.register_site("custom.layer.op") == "custom.layer.op"
+    assert inj.register_site("custom.layer.op") == "custom.layer.op"  # idempotent
+    assert inj.sites() == ["custom.layer.op"]
+    for bad in ("", "nodots", "Upper.case", "has space.op", "trailing.", ".leading"):
+        with pytest.raises(ReproError, match="site name|non-empty"):
+            inj.register_site(bad)
+    assert inj.sites() == ["custom.layer.op"]
+
+
+def test_assert_all_sites_known_accepts_registered_and_names_unknown():
+    from repro.faults import assert_all_sites_known
+
+    sites = fault_sites()
+    assert_all_sites_known(sites)  # the full registry round-trips
+    assert_all_sites_known([])
+    assert_all_sites_known(iter(sites[:3]))  # any iterable
+    with pytest.raises(ReproError, match="'codegen.insert.bogus'") as exc:
+        assert_all_sites_known([sites[0], "codegen.insert.bogus", "zzz.unknown"])
+    # Every unknown name is listed, known ones are not.
+    assert "'zzz.unknown'" in str(exc.value)
+    assert "unknown fault site(s): 'codegen.insert.bogus'" in str(exc.value)
